@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of Fig. 5 (baseline quantum fails at 1024-dim).
+
+Panel (a): F-BQ-AE / H-BQ-AE / classical AE squeezed through a 10-dim
+latent on PDBbind; panel (b): classical AE/VAE latent-dimension sweep.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import Fig5Config, run_fig5
+
+
+def bench_fig5(benchmark, show, scale):
+    config = Fig5Config.from_scale(scale, seed=0)
+    result = run_once(benchmark, lambda: run_fig5(config))
+    show("Fig. 5: baseline quantum AEs on PDBbind", result.format_table())
+
+    # Panel (a): the classical AE ends below both baseline quantum variants
+    # ("F-BQ-AE hardly learns", Section III-C).
+    assert result.baseline_quantum_fails()
+
+    # The F-BQ-AE's curve is nearly flat: its probability outputs cannot
+    # approach original-scale ligand matrices.
+    f_bq = result.curves["F-BQ-AE 10D"]
+    assert abs(f_bq[-1] - f_bq[0]) < 0.05
+
+    # Panel (b): AE test loss improves when the latent grows 10 -> 128.
+    assert result.ae_improves_with_lsd()

@@ -1,0 +1,34 @@
+"""Benchmark + reproduction of Fig. 6 (quantum layer depth ablation).
+
+Sweeps SQ-AE entangling depth 1..9 on PDBbind and checkpoints train/test
+losses at two epochs, looking for the paper's U-shape with the optimum in
+the interior (paper: L = 5).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import Fig6Config, run_fig6
+
+
+def bench_fig6(benchmark, show, scale):
+    config = Fig6Config.from_scale(scale, seed=0)
+    result = run_once(benchmark, lambda: run_fig6(config))
+    show("Fig. 6: depth ablation", result.format_table())
+
+    final_test = {d: row[f"test@{config.eval_epochs[1]}"]
+                  for d, row in result.losses.items()}
+
+    # Shape claim: a single entangling layer underfits — it must be worse
+    # than the best interior depth ("too few quantum layers hurts its
+    # expressive power").
+    best = result.best_depth()
+    assert final_test[1] > final_test[best]
+
+    # The optimum is in the interior of the sweep, not at depth 1
+    # (paper's optimum: 5; spurious-local-minima argument for large L).
+    assert 2 <= best <= 9
+
+    # All losses are finite and positive.
+    for row in result.losses.values():
+        for value in row.values():
+            assert value > 0.0

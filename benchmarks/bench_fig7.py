@@ -1,0 +1,33 @@
+"""Benchmark + reproduction of Fig. 7 (heterogeneous learning-rate grid).
+
+Trains one SQ-AE per (quantum lr, classical lr) pair over the paper's
+5 x 5 grid {0.001, 0.003, 0.01, 0.03, 0.1}^2 and reports final train loss.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig7 import Fig7Config, run_fig7
+
+
+def bench_fig7(benchmark, show, scale):
+    config = Fig7Config.from_scale(scale, seed=0)
+    result = run_once(benchmark, lambda: run_fig7(config))
+    show("Fig. 7: learning-rate grid", result.format_table())
+
+    grid = result.loss_grid()
+    assert grid.shape == (len(config.classical_lrs), len(config.quantum_lrs))
+    assert np.isfinite(grid).all()
+
+    # Shape claim from the paper's heat map: the classical learning rate
+    # dominates — the tiny-classical-lr row is the worst region of the grid.
+    row_means = grid.mean(axis=1)  # rows ordered by ascending classical lr
+    assert row_means[0] == row_means.max()
+
+    # Heterogeneous rates are meaningful: the best cell is at least as good
+    # as every homogeneous (q == c) diagonal cell.
+    best_q, best_c = result.best_combination()
+    best_loss = result.losses[(best_q, best_c)]
+    diagonal = [result.losses[(lr, lr)] for lr in config.quantum_lrs
+                if (lr, lr) in result.losses]
+    assert best_loss <= min(diagonal) + 1e-12

@@ -1,0 +1,134 @@
+"""Micro-benchmarks for the computational kernels under every experiment.
+
+These are proper multi-round pytest benchmarks (unlike the one-shot
+experiment reproductions): statevector gate application, full circuit
+execution, adjoint backward, parameter-shift (for the cost comparison the
+adjoint method wins), patched-layer forward, and molecule scoring.
+"""
+
+import numpy as np
+
+from repro.chem import random_molecules, score_molecules
+from repro.models import ScalableQuantumAE
+from repro.nn import Tensor, functional as F
+from repro.qnn import PatchedQuantumLayer, amplitude_encoder_circuit
+from repro.quantum import (
+    Circuit,
+    backward,
+    execute,
+    gates,
+    parameter_shift_gradients,
+    apply_gate,
+    zero_state,
+)
+
+
+def bench_apply_single_qubit_gate_10q(benchmark):
+    """One RY on a batch of 32 ten-qubit states (the SQ encoder regime)."""
+    state = zero_state(10, batch=32)
+    gate = gates.ry(0.3)
+    result = benchmark(lambda: apply_gate(state, gate, (4,)))
+    assert result.shape == (32, 1024)
+
+
+def bench_apply_cnot_10q(benchmark):
+    state = zero_state(10, batch=32)
+    result = benchmark(lambda: apply_gate(state, gates.CNOT, (3, 7)))
+    assert result.shape == (32, 1024)
+
+
+def _sel_circuit(n_wires=8, layers=5):
+    return (
+        Circuit(n_wires)
+        .amplitude_embedding(2**n_wires, zero_fallback=True)
+        .strongly_entangling_layers(layers)
+        .measure_expval()
+    )
+
+
+def bench_circuit_forward_8q_5layers(benchmark):
+    """Forward pass of one SQ encoder patch (8 qubits, 5 SEL layers)."""
+    circuit = _sel_circuit()
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    out, __ = benchmark(lambda: execute(circuit, inputs, weights, want_cache=False))
+    assert out.shape == (32, 8)
+
+
+def bench_adjoint_backward_8q_5layers(benchmark):
+    """Adjoint gradient of one SQ encoder patch (vs. parameter-shift below)."""
+    circuit = _sel_circuit()
+    rng = np.random.default_rng(1)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    outputs, cache = execute(circuit, inputs, weights)
+    grad_out = rng.normal(size=outputs.shape)
+    grad_in, grad_w = benchmark(lambda: backward(cache, grad_out))
+    assert grad_w.shape == (circuit.n_weights,)
+
+
+def bench_parameter_shift_4q_2layers(benchmark):
+    """Parameter-shift on a small circuit — 2 executions per parameter.
+
+    Kept small: at the SQ encoder's size this method would need 240
+    executions per batch, which is exactly why training uses the adjoint.
+    """
+    circuit = (
+        Circuit(4)
+        .amplitude_embedding(16)
+        .strongly_entangling_layers(2)
+        .measure_expval()
+    )
+    rng = np.random.default_rng(2)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(8, 16))) + 0.01
+    grad_out = rng.normal(size=(8, 4))
+    grads = benchmark(
+        lambda: parameter_shift_gradients(circuit, inputs, weights, grad_out)
+    )
+    assert grads.shape == (circuit.n_weights,)
+
+
+def bench_patched_encoder_forward_1024(benchmark):
+    """Full patched encoder (p=4) on a 1024-feature batch."""
+    rng = np.random.default_rng(3)
+    layer = PatchedQuantumLayer(
+        lambda i: amplitude_encoder_circuit(8, 256, 5, zero_fallback=True),
+        n_patches=4,
+        rng=rng,
+    )
+    x = Tensor(np.abs(rng.normal(size=(32, 1024))) + 0.01)
+    out = benchmark(lambda: layer(x))
+    assert out.shape == (32, 32)
+
+
+def bench_sq_ae_training_step(benchmark):
+    """One full SQ-AE optimizer step at paper scale (p=4, L=5, batch 32)."""
+    from repro.nn import heterogeneous_adam
+
+    rng = np.random.default_rng(4)
+    model = ScalableQuantumAE(input_dim=1024, n_patches=4, n_layers=5, rng=rng)
+    optimizer = heterogeneous_adam(model, quantum_lr=0.03, classical_lr=0.01)
+    batch = Tensor(np.abs(rng.normal(size=(32, 1024))) + 0.01)
+
+    def step():
+        optimizer.zero_grad()
+        out = model(batch)
+        loss = F.mse_loss(out.reconstruction, batch)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert loss > 0
+
+
+def bench_molecule_scoring(benchmark):
+    """QED + logP + SA scoring of a 50-molecule set (Table II's hot loop)."""
+    from repro.chem.sa import default_fragment_table
+
+    molecules = random_molecules(50, seed=0)
+    table = default_fragment_table()
+    scores = benchmark(lambda: score_molecules(molecules, table=table))
+    assert scores.n_scored == 50

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the experiment drivers at the scale selected by
+``REPRO_FULL`` (fast by default) and print the same rows/series the paper's
+tables and figures report.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Training-based benchmarks execute once (``rounds=1``) — they are end-to-end
+reproductions, not micro-benchmarks; the kernel benchmarks in
+``bench_kernels.py`` use normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    value = get_scale()
+    print(f"\n[repro] benchmark scale: {value.name} "
+          f"(REPRO_FULL=1 for paper-scale)", file=sys.stderr)
+    return value
+
+
+@pytest.fixture
+def show():
+    """Print a result block so it is visible in benchmark logs."""
+
+    def _show(title: str, body: str) -> None:
+        print(f"\n===== {title} =====\n{body}\n", file=sys.stderr)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Time a single end-to-end run and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Architecture ablations from Section IV-C: depth and learning rates.
+
+Runs miniature versions of the paper's two sensitivity studies on one
+shared ligand set:
+
+1. quantum layer depth (Fig. 6) — sweep strongly-entangling-layer counts
+   and watch expressiveness vs. trainability trade off;
+2. heterogeneous learning rates (Fig. 7) — compare homogeneous settings
+   against the paper's (quantum 0.03, classical 0.01) split.
+
+Run:
+    python examples/architecture_ablation.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.data import load_pdbbind_ligands, train_test_split
+from repro.models import ScalableQuantumAE
+from repro.training import TrainConfig, Trainer
+
+
+def main() -> None:
+    seed = int(os.environ.get("SEED", 0))
+    n_ligands = int(os.environ.get("LIGANDS", 64))
+    epochs = int(os.environ.get("EPOCHS", 3))
+
+    data = load_pdbbind_ligands(n_samples=n_ligands, seed=seed)
+    train, test = train_test_split(data, test_fraction=0.15, seed=seed)
+
+    print("-- depth ablation (Fig. 6 miniature) --")
+    print(f"{'layers':>6} {'train':>8} {'test':>8}")
+    for depth in (1, 3, 5, 7):
+        model = ScalableQuantumAE(
+            input_dim=1024, n_patches=4, n_layers=depth,
+            rng=np.random.default_rng(seed + depth),
+        )
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=epochs, quantum_lr=0.001, classical_lr=0.001,
+                        seed=seed),
+        )
+        history = trainer.fit(train, test_data=test)
+        print(f"{depth:>6} {history.final_train_loss:>8.4f} "
+              f"{history.final_test_loss:>8.4f}")
+
+    print("\n-- learning-rate ablation (Fig. 7 miniature) --")
+    combos = [
+        ("homogeneous 0.001", 0.001, 0.001),
+        ("homogeneous 0.01", 0.01, 0.01),
+        ("paper heterogeneous", 0.03, 0.01),
+        ("inverted heterogeneous", 0.01, 0.03),
+    ]
+    print(f"{'setting':>24} {'q-lr':>6} {'c-lr':>6} {'train':>8}")
+    for name, quantum_lr, classical_lr in combos:
+        model = ScalableQuantumAE(
+            input_dim=1024, n_patches=4, n_layers=5,
+            rng=np.random.default_rng(seed),
+        )
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=epochs, quantum_lr=quantum_lr,
+                        classical_lr=classical_lr, seed=seed),
+        )
+        history = trainer.fit(train)
+        print(f"{name:>24} {quantum_lr:>6} {classical_lr:>6} "
+              f"{history.final_train_loss:>8.4f}")
+    print("\nThe quantum angles live in [-pi, pi]; giving them a larger step")
+    print("than the unbounded classical weights is what Fig. 7 selects.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Navigating chemical space with a trained variational autoencoder.
+
+The paper's introduction motivates generative autoencoders as tools for
+exploring "the impractically large chemical space".  This example makes
+that literal: train a VAE on QM9-like molecules, then (1) walk a straight
+line in latent space between two training molecules and decode every step,
+and (2) explore the latent neighborhood of one molecule at increasing
+radii to find close structural variants.
+
+Run:
+    python examples/chemical_space_walk.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem import qed, to_smiles
+from repro.data import load_qm9
+from repro.evaluation import (
+    decode_to_molecules,
+    interpolate_latent,
+    latent_neighborhood,
+)
+from repro.training import TrainConfig, Trainer
+
+
+def describe(mol) -> str:
+    if mol.num_atoms == 0:
+        return "(empty)"
+    smiles = to_smiles(mol) if mol.is_connected() else mol.molecular_formula()
+    return f"{mol.molecular_formula():10s} QED={qed(mol):.2f}  {smiles[:40]}"
+
+
+def main() -> None:
+    data = load_qm9(n_samples=192, seed=3)
+    # Vanilla AE: the paper's Section I points out AEs reconstruct more
+    # accurately than VAEs, which is exactly what a crisp latent walk
+    # needs (the discretization step swallows blurry decodes).
+    from repro.models import ClassicalAE
+
+    model = ClassicalAE(input_dim=64, latent_dim=16, rng=np.random.default_rng(3))
+    model.init_output_bias(data.features.mean(axis=0))
+    history = Trainer(
+        model, TrainConfig(epochs=60, batch_size=32, classical_lr=0.01,
+                           seed=3)
+    ).fit(data)
+    print(f"trained AE: loss {history.train_losses[0]:.3f} -> "
+          f"{history.final_train_loss:.3f}\n")
+
+    # 1. Interpolate between two molecules.
+    start, end = data.features[0], data.features[1]
+    start_mol, end_mol = decode_to_molecules(np.stack([start, end]),
+                                             repair=False)
+    print("latent-space walk:")
+    print(f"  from: {describe(start_mol)}")
+    print(f"    to: {describe(end_mol)}\n")
+    path = interpolate_latent(model, start, end, steps=7)
+    for step, mol in enumerate(decode_to_molecules(path)):
+        print(f"  step {step}: {describe(mol)}")
+
+    # 2. Neighborhood exploration around the first molecule.
+    print("\nlatent neighborhood (increasing radius):")
+    for radius in (0.1, 0.5, 1.5):
+        neighbors = latent_neighborhood(
+            model, start, n_samples=4, radius=radius,
+            rng=np.random.default_rng(int(radius * 10)),
+        )
+        molecules = decode_to_molecules(neighbors)
+        unique = {to_smiles(m) if m.is_connected() and m.num_atoms else "-"
+                  for m in molecules}
+        print(f"  radius {radius:>4}: {len(unique)} distinct decodes, e.g. "
+              f"{describe(molecules[0])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""NISQ-readiness analysis of the paper's quantum encoder.
+
+The paper evaluates on an exact simulator; this example asks what changes
+on near-term hardware: (1) what the baseline encoder circuit actually
+looks like, (2) how many measurement shots the 6-qubit latent needs, and
+(3) how fast per-gate depolarizing noise erases the latent signal.
+
+Run:
+    python examples/nisq_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_qm9
+from repro.quantum import (
+    Circuit,
+    NoiseModel,
+    draw,
+    estimate_expval_z,
+    execute,
+    noisy_execute,
+    shot_noise_std,
+)
+
+
+def main() -> None:
+    # 1. The F-BQ encoder: amplitude embedding, 3 strongly entangling
+    #    layers, per-qubit Z expectations (Section III-B).
+    circuit = (
+        Circuit(6)
+        .amplitude_embedding(64)
+        .strongly_entangling_layers(3)
+        .measure_expval()
+    )
+    print("Baseline quantum encoder (first 12 gate columns):\n")
+    print(draw(circuit, max_columns=12))
+    print(f"\n{circuit.n_weights} trainable rotation angles, "
+          f"{len(circuit.ops)} gates total")
+
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    molecules = load_qm9(n_samples=12, seed=0)
+    exact, cache = execute(circuit, molecules.features, weights)
+
+    # 2. Shot budget: latent RMSE vs number of measurement shots.
+    print("\nShot-noise analysis (latent RMSE vs exact simulator):")
+    print(f"{'shots':>8} {'measured RMSE':>14} {'theory (mean)':>14}")
+    for shots in (16, 64, 256, 1024, 4096):
+        estimate = estimate_expval_z(
+            cache.final_state, tuple(range(6)), shots,
+            np.random.default_rng(shots),
+        )
+        rmse = float(np.sqrt(((estimate - exact) ** 2).mean()))
+        theory = float(shot_noise_std(exact, shots).mean())
+        print(f"{shots:>8} {rmse:>14.4f} {theory:>14.4f}")
+
+    # 3. Depolarizing noise: how much latent signal survives.
+    print("\nDepolarizing-noise analysis (trajectory-averaged):")
+    print(f"{'rate':>8} {'latent RMSE':>12} {'signal kept':>12}")
+    scale = float(np.abs(exact).mean())
+    for rate in (0.0, 0.01, 0.05, 0.1):
+        noisy = noisy_execute(
+            circuit, molecules.features, weights,
+            NoiseModel(depolarizing=rate), n_trajectories=80,
+            rng=np.random.default_rng(int(rate * 1e4)),
+        )
+        rmse = float(np.sqrt(((noisy - exact) ** 2).mean()))
+        kept = float(np.abs(noisy).mean()) / scale if scale else 0.0
+        print(f"{rate:>8.2f} {rmse:>12.4f} {kept:>12.2%}")
+
+    print("\nTakeaway: a few thousand shots recover the exact-simulator")
+    print("latent to ~1%, but percent-level gate noise already perturbs it")
+    print("more than that — the regime the paper's noiseless simulation")
+    print("assumes away.")
+
+
+if __name__ == "__main__":
+    main()

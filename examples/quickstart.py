@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: train a baseline quantum VAE on QM9-like molecules.
+
+Reproduces the paper's headline low-dimensional result in miniature: on
+L1-normalized 8x8 molecule matrices, the fully quantum autoencoder (108
+rotation angles) reaches a far lower reconstruction loss than a classical
+VAE with ~50x more parameters in the same number of epochs (Fig. 4b).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_qm9
+from repro.evaluation import render_molecule_matrix, side_by_side
+from repro.chem.matrix import discretize
+from repro.models import ClassicalVAE, FullyQuantumVAE
+from repro.training import TrainConfig, Trainer
+
+
+def main() -> None:
+    # 1. Data: seeded synthetic QM9 (8x8 integer molecule matrices),
+    #    L1-normalized so the quantum decoder's probability outputs can
+    #    represent them exactly.
+    data = load_qm9(n_samples=192, seed=7)
+    normalized = data.normalized()
+    print(f"dataset: {len(data)} molecules, {data.n_features} features")
+
+    # 2. Models: F-BQ-VAE (amplitude-embedding encoder, 6 qubits, 3
+    #    strongly entangling layers) vs the classical VAE of Table I.
+    quantum = FullyQuantumVAE(input_dim=64, n_layers=3,
+                              rng=np.random.default_rng(0))
+    classical = ClassicalVAE(input_dim=64, latent_dim=6,
+                             rng=np.random.default_rng(0))
+    for name, model in [("F-BQ-VAE", quantum), ("CVAE", classical)]:
+        counts = model.parameter_count_by_group()
+        print(f"{name}: quantum={counts['quantum']} "
+              f"classical={counts['classical']} total={counts['total']}")
+
+    # 3. Train both for the same budget.
+    config = TrainConfig(epochs=10, batch_size=32, quantum_lr=0.01,
+                         classical_lr=0.01, seed=0)
+    histories = {}
+    for name, model in [("F-BQ-VAE", quantum), ("CVAE", classical)]:
+        histories[name] = Trainer(model, config).fit(normalized)
+        losses = histories[name].train_losses
+        print(f"{name} train loss: {losses[0]:.5f} -> {losses[-1]:.5f}")
+
+    better = ("F-BQ-VAE"
+              if histories["F-BQ-VAE"].final_train_loss
+              < histories["CVAE"].final_train_loss else "CVAE")
+    print(f"\nlower final loss on normalized molecules: {better}")
+
+    # 4. Reconstruct one molecule and sample a new one from the prior.
+    molecule = normalized.features[:1]
+    recon = quantum.reconstruct(molecule)[0]
+    scale = data.features[0].sum()  # undo the L1 normalization for display
+    panel = side_by_side(
+        [
+            render_molecule_matrix(data.raw[0]),
+            render_molecule_matrix(discretize(recon.reshape(8, 8) * scale)),
+        ],
+        titles=["Input molecule", "F-BQ-VAE reconstruction"],
+    )
+    print(f"\n{panel}")
+
+    sample = quantum.sample(1, np.random.default_rng(1))[0]
+    sampled_matrix = discretize(sample.reshape(8, 8) * scale)
+    print("\nNew molecule sampled from the learned latent space:")
+    print(render_molecule_matrix(sampled_matrix))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Cheminformatics substrate replacing RDKit for the reproduction.
+
+Molecule graphs, the molecule-matrix codec from the paper's Fig. 3, valence
+sanitization with lenient repair, SMILES I/O, and the three Table II
+property metrics: QED, Crippen logP, and the Ertl-style SA score.
+"""
+
+from .crippen import crippen_logp
+from .descriptors import (
+    aromatic_ring_count,
+    hydrogen_bond_acceptors,
+    hydrogen_bond_donors,
+    ring_count,
+    rotatable_bonds,
+    structural_alerts,
+    tpsa,
+)
+from .fingerprints import (
+    bulk_tanimoto,
+    morgan_fingerprint,
+    nearest_neighbor_similarity,
+    novelty,
+    tanimoto,
+)
+from .generation import MoleculeSpec, random_molecule, random_molecules
+from .lipinski import (
+    LipinskiReport,
+    lipinski_report,
+    passes_rule_of_five,
+    passes_veber,
+)
+from .scaffold import (
+    canonical_signature,
+    murcko_scaffold,
+    same_molecule,
+    scaffold_diversity,
+)
+from .matrix import (
+    ATOM_CODES,
+    BOND_CODES,
+    decode_molecule,
+    discretize,
+    encode_molecule,
+    is_well_formed,
+    symmetrize,
+)
+from .metrics import (
+    LOGP_RANGE,
+    MoleculeSetScores,
+    normalized_logp,
+    normalized_sa,
+    score_matrices,
+    score_molecules,
+    uniqueness,
+)
+from .molecule import AROMATIC, Molecule
+from .periodic import ELEMENTS, Element, element
+from .qed import qed, qed_properties
+from .sa import FragmentTable, default_fragment_table, sa_score
+from .smiles import from_smiles, to_smiles
+from .valence import (
+    ValenceReport,
+    check_valence,
+    is_valid,
+    largest_fragment,
+    sanitize_lenient,
+)
+
+__all__ = [
+    "AROMATIC",
+    "Molecule",
+    "Element",
+    "ELEMENTS",
+    "element",
+    "ATOM_CODES",
+    "BOND_CODES",
+    "encode_molecule",
+    "decode_molecule",
+    "discretize",
+    "symmetrize",
+    "is_well_formed",
+    "check_valence",
+    "is_valid",
+    "largest_fragment",
+    "sanitize_lenient",
+    "ValenceReport",
+    "MoleculeSpec",
+    "random_molecule",
+    "random_molecules",
+    "to_smiles",
+    "from_smiles",
+    "crippen_logp",
+    "qed",
+    "qed_properties",
+    "sa_score",
+    "FragmentTable",
+    "default_fragment_table",
+    "tpsa",
+    "hydrogen_bond_acceptors",
+    "hydrogen_bond_donors",
+    "rotatable_bonds",
+    "ring_count",
+    "aromatic_ring_count",
+    "structural_alerts",
+    "LOGP_RANGE",
+    "normalized_logp",
+    "normalized_sa",
+    "score_molecules",
+    "score_matrices",
+    "uniqueness",
+    "MoleculeSetScores",
+    "murcko_scaffold",
+    "canonical_signature",
+    "same_molecule",
+    "scaffold_diversity",
+    "LipinskiReport",
+    "lipinski_report",
+    "passes_rule_of_five",
+    "passes_veber",
+    "morgan_fingerprint",
+    "tanimoto",
+    "bulk_tanimoto",
+    "nearest_neighbor_similarity",
+    "novelty",
+]

@@ -1,0 +1,108 @@
+"""Crippen-style atom-contribution logP.
+
+A condensed Wildman & Crippen (1999) model: every heavy atom is assigned to
+one of ~15 classes by element, aromaticity, and heteroatom attachment, and
+implicit hydrogens contribute per the atom they sit on.  The class
+contributions are taken from the published table (collapsing the finer
+carbon/nitrogen subtypes onto their most common representative), which keeps
+the orderings RDKit's MolLogP produces: hydrocarbons and halogenated
+aromatics score high, polar H-bonding molecules score low.
+"""
+
+from __future__ import annotations
+
+from .molecule import AROMATIC, Molecule
+
+__all__ = ["crippen_logp", "atom_contribution"]
+
+# Heavy-atom class contributions (condensed Wildman-Crippen values).
+_CONTRIB = {
+    "C_aliph": 0.1441,  # aliphatic C bonded only to C/H (C1/C2)
+    "C_aliph_hetero": -0.2035,  # aliphatic C with heteroatom neighbor (C3)
+    "C_arom": 0.2940,  # aromatic CH (C18)
+    "C_arom_sub": 0.1581,  # substituted aromatic C (C21/C22)
+    "C_arom_hetero": 0.2955,  # aromatic C bonded to aromatic heteroatom (C19)
+    "N_amine_primary": -1.0190,  # NH2 (N1)
+    "N_amine_secondary": -0.7096,  # NH (N2)
+    "N_amine_tertiary": -1.0270,  # N (N7)
+    "N_unsaturated": -0.1036,  # imine/nitrile N (N9-ish)
+    "N_arom": -0.3239,  # aromatic N (N11/N12)
+    "O_hydroxyl": -0.2893,  # OH (O2)
+    "O_ether": -0.2057,  # ether/ester O (O3/O4, averaged)
+    "O_carbonyl": -0.1188,  # =O (O9-ish)
+    "O_arom": 0.1552,  # aromatic O (O1)
+    "F": 0.4202,
+    "Cl": 0.6895,
+    "S": 0.6482,  # thioether/thiol (S1)
+    "S_arom": 0.6237,  # aromatic S (S3)
+    "P": 0.8612,
+}
+
+# Hydrogen contributions by host atom.
+_H_ON_CARBON = 0.1230
+_H_ON_HETERO = -0.2677
+
+
+def atom_contribution(mol: Molecule, index: int) -> float:
+    """Heavy-atom logP contribution (excluding its hydrogens)."""
+    symbol = mol.symbols[index]
+    orders = [mol.bond_order(index, nbr) for nbr in mol.neighbors(index)]
+    aromatic = any(order == AROMATIC for order in orders)
+    hetero_neighbor = any(
+        mol.symbols[nbr] not in ("C", "H") for nbr in mol.neighbors(index)
+    )
+
+    if symbol == "C":
+        if aromatic:
+            aromatic_hetero_nbr = any(
+                mol.symbols[nbr] in ("N", "O", "S")
+                and mol.bond_order(index, nbr) == AROMATIC
+                for nbr in mol.neighbors(index)
+            )
+            if aromatic_hetero_nbr:
+                return _CONTRIB["C_arom_hetero"]
+            exocyclic = [o for o in orders if o != AROMATIC]
+            if exocyclic:
+                return _CONTRIB["C_arom_sub"]
+            return _CONTRIB["C_arom"]
+        if hetero_neighbor:
+            return _CONTRIB["C_aliph_hetero"]
+        return _CONTRIB["C_aliph"]
+
+    if symbol == "N":
+        if aromatic:
+            return _CONTRIB["N_arom"]
+        if any(order in (2.0, 3.0) for order in orders):
+            return _CONTRIB["N_unsaturated"]
+        hydrogens = mol.implicit_hydrogens(index)
+        if hydrogens >= 2:
+            return _CONTRIB["N_amine_primary"]
+        if hydrogens == 1:
+            return _CONTRIB["N_amine_secondary"]
+        return _CONTRIB["N_amine_tertiary"]
+
+    if symbol == "O":
+        if aromatic:
+            return _CONTRIB["O_arom"]
+        if any(order == 2.0 for order in orders):
+            return _CONTRIB["O_carbonyl"]
+        if mol.implicit_hydrogens(index) >= 1:
+            return _CONTRIB["O_hydroxyl"]
+        return _CONTRIB["O_ether"]
+
+    if symbol == "S":
+        return _CONTRIB["S_arom"] if aromatic else _CONTRIB["S"]
+
+    if symbol in _CONTRIB:
+        return _CONTRIB[symbol]
+    raise ValueError(f"no Crippen class for element {symbol!r}")
+
+
+def crippen_logp(mol: Molecule) -> float:
+    """Octanol-water partition coefficient estimate (sum of contributions)."""
+    total = 0.0
+    for index, symbol in enumerate(mol.symbols):
+        total += atom_contribution(mol, index)
+        h_value = _H_ON_CARBON if symbol == "C" else _H_ON_HETERO
+        total += h_value * mol.implicit_hydrogens(index)
+    return total

@@ -1,0 +1,98 @@
+"""Morgan-style hashed fingerprints and Tanimoto similarity.
+
+Supports the novelty/similarity analyses of generated molecule sets: each
+atom environment (radius 0..r) hashes into a fixed-width bit vector, and
+Tanimoto similarity compares molecules the way RDKit's Morgan fingerprints
+would (same construction, our hash).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .molecule import Molecule
+from .sa import environment_key
+
+__all__ = [
+    "morgan_fingerprint",
+    "tanimoto",
+    "bulk_tanimoto",
+    "nearest_neighbor_similarity",
+    "novelty",
+]
+
+
+def morgan_fingerprint(
+    mol: Molecule, n_bits: int = 1024, radius: int = 2
+) -> np.ndarray:
+    """Binary fingerprint: one bit per hashed atom environment, radii 0..r."""
+    if n_bits < 8:
+        raise ValueError("n_bits must be at least 8")
+    bits = np.zeros(n_bits, dtype=bool)
+    for index in range(mol.num_atoms):
+        for r in range(radius + 1):
+            key = environment_key(mol, index, radius=r)
+            bits[hash_to_bit(key, n_bits)] = True
+    return bits
+
+
+def hash_to_bit(key: str, n_bits: int) -> int:
+    """Stable (process-independent) hash of an environment key to a bit index."""
+    import hashlib
+
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_bits
+
+
+def tanimoto(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of two binary fingerprints in [0, 1]."""
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 0.0
+    return float(np.logical_and(a, b).sum() / union)
+
+
+def bulk_tanimoto(query: np.ndarray, pool: np.ndarray) -> np.ndarray:
+    """Tanimoto of one query fingerprint against ``(n, bits)`` pool rows."""
+    query = np.asarray(query, dtype=bool)
+    pool = np.asarray(pool, dtype=bool)
+    intersections = np.logical_and(pool, query).sum(axis=1)
+    unions = np.logical_or(pool, query).sum(axis=1)
+    return np.where(unions > 0, intersections / np.maximum(unions, 1), 0.0)
+
+
+def nearest_neighbor_similarity(
+    generated: list[Molecule], reference: list[Molecule], n_bits: int = 1024
+) -> np.ndarray:
+    """For each generated molecule, its max Tanimoto to the reference set."""
+    if not reference:
+        raise ValueError("reference set must be non-empty")
+    pool = np.stack([morgan_fingerprint(m, n_bits) for m in reference])
+    return np.array(
+        [
+            bulk_tanimoto(morgan_fingerprint(m, n_bits), pool).max()
+            if m.num_atoms
+            else 0.0
+            for m in generated
+        ]
+    )
+
+
+def novelty(
+    generated: list[Molecule],
+    reference: list[Molecule],
+    threshold: float = 1.0,
+    n_bits: int = 1024,
+) -> float:
+    """Fraction of generated molecules not (near-)duplicating the reference.
+
+    With the default ``threshold=1.0`` a molecule only counts as known when
+    some reference fingerprint matches exactly; lower thresholds treat
+    close analogues as known too (MolGAN-style novelty).
+    """
+    if not generated:
+        return 0.0
+    similarity = nearest_neighbor_similarity(generated, reference, n_bits)
+    return float((similarity < threshold).mean())

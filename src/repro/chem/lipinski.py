@@ -1,0 +1,79 @@
+"""Lipinski's rule of five and related oral-druglikeness filters.
+
+Complements QED (Table II) with the classic hard filters medicinal
+chemists apply to generated candidates: molecular weight, logP, H-bond
+donors/acceptors, plus the Veber extensions (rotatable bonds, TPSA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .crippen import crippen_logp
+from .descriptors import (
+    hydrogen_bond_acceptors,
+    hydrogen_bond_donors,
+    rotatable_bonds,
+    tpsa,
+)
+from .molecule import Molecule
+
+__all__ = ["LipinskiReport", "lipinski_report", "passes_rule_of_five",
+           "passes_veber"]
+
+
+@dataclass(frozen=True)
+class LipinskiReport:
+    """Descriptor values and which rules they break."""
+
+    molecular_weight: float
+    logp: float
+    donors: int
+    acceptors: int
+    rotatable: int
+    tpsa: float
+    violations: tuple[str, ...]
+
+    @property
+    def n_violations(self) -> int:
+        return len(self.violations)
+
+
+def lipinski_report(mol: Molecule) -> LipinskiReport:
+    """Evaluate all rule-of-five descriptors and collect violations."""
+    weight = mol.molecular_weight()
+    logp = crippen_logp(mol)
+    donors = hydrogen_bond_donors(mol)
+    acceptors = hydrogen_bond_acceptors(mol)
+    rotatable = rotatable_bonds(mol)
+    polar_area = tpsa(mol)
+
+    violations = []
+    if weight > 500.0:
+        violations.append("MW > 500")
+    if logp > 5.0:
+        violations.append("logP > 5")
+    if donors > 5:
+        violations.append("HBD > 5")
+    if acceptors > 10:
+        violations.append("HBA > 10")
+    return LipinskiReport(
+        molecular_weight=weight,
+        logp=logp,
+        donors=donors,
+        acceptors=acceptors,
+        rotatable=rotatable,
+        tpsa=polar_area,
+        violations=tuple(violations),
+    )
+
+
+def passes_rule_of_five(mol: Molecule, allowed_violations: int = 1) -> bool:
+    """Lipinski's criterion: at most one rule broken (his original framing)."""
+    return lipinski_report(mol).n_violations <= allowed_violations
+
+
+def passes_veber(mol: Molecule) -> bool:
+    """Veber's oral-bioavailability extension: ROTB <= 10 and TPSA <= 140."""
+    report = lipinski_report(mol)
+    return report.rotatable <= 10 and report.tpsa <= 140.0

@@ -1,0 +1,127 @@
+"""Molecule-matrix codec (Fig. 3 of the paper).
+
+A molecule with up to N heavy atoms is an N x N symmetric integer matrix:
+
+* diagonal ``M[i, i]`` — encoded atom type: 1-C, 2-N, 3-O, 4-F, 5-S
+  (0 = no atom; QM9 uses codes 1-3 plus 4-F);
+* off-diagonal ``M[i, j]`` — encoded bond type: 0-NONE, 1-SINGLE, 2-DOUBLE,
+  3-TRIPLE, 4-AROMATIC.
+
+Autoencoder outputs are continuous, so :func:`discretize` rounds and clips a
+real-valued matrix back onto valid codes before decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .molecule import AROMATIC, Molecule
+
+__all__ = [
+    "ATOM_CODES",
+    "CODE_TO_SYMBOL",
+    "BOND_CODES",
+    "CODE_TO_ORDER",
+    "encode_molecule",
+    "decode_molecule",
+    "discretize",
+    "symmetrize",
+    "is_well_formed",
+]
+
+ATOM_CODES: dict[str, int] = {"C": 1, "N": 2, "O": 3, "F": 4, "S": 5}
+CODE_TO_SYMBOL: dict[int, str] = {v: k for k, v in ATOM_CODES.items()}
+
+BOND_CODES: dict[float, int] = {1.0: 1, 2.0: 2, 3.0: 3, AROMATIC: 4}
+CODE_TO_ORDER: dict[int, float] = {v: k for k, v in BOND_CODES.items()}
+
+MAX_ATOM_CODE = max(ATOM_CODES.values())
+MAX_BOND_CODE = max(BOND_CODES.values())
+
+
+def encode_molecule(mol: Molecule, size: int) -> np.ndarray:
+    """Encode a molecule as a ``(size, size)`` integer matrix.
+
+    Atoms occupy the leading diagonal slots in index order; raises if the
+    molecule has more atoms than ``size`` or uses an unencodable element.
+    """
+    if mol.num_atoms > size:
+        raise ValueError(f"molecule has {mol.num_atoms} atoms > matrix size {size}")
+    matrix = np.zeros((size, size), dtype=np.int64)
+    for index, symbol in enumerate(mol.symbols):
+        if symbol not in ATOM_CODES:
+            raise ValueError(f"element {symbol!r} has no matrix code")
+        matrix[index, index] = ATOM_CODES[symbol]
+    for i, j, order in mol.bonds():
+        code = BOND_CODES[float(order)]
+        matrix[i, j] = code
+        matrix[j, i] = code
+    return matrix
+
+
+def decode_molecule(matrix: np.ndarray) -> Molecule:
+    """Decode an integer matrix into a (possibly invalid) molecule.
+
+    Empty diagonal slots are skipped; bonds touching empty slots are
+    dropped; unknown codes raise.  Chemical validity is *not* checked here —
+    that is :mod:`repro.chem.valence`'s job.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"molecule matrix must be square, got {matrix.shape}")
+    size = matrix.shape[0]
+    mol = Molecule()
+    slot_to_atom: dict[int, int] = {}
+    for slot in range(size):
+        code = int(matrix[slot, slot])
+        if code == 0:
+            continue
+        if code not in CODE_TO_SYMBOL:
+            raise ValueError(f"unknown atom code {code} at slot {slot}")
+        slot_to_atom[slot] = mol.add_atom(CODE_TO_SYMBOL[code])
+    for i in range(size):
+        for j in range(i + 1, size):
+            code = int(matrix[i, j])
+            if code == 0:
+                continue
+            if code not in CODE_TO_ORDER:
+                raise ValueError(f"unknown bond code {code} at ({i}, {j})")
+            if i in slot_to_atom and j in slot_to_atom:
+                mol.add_bond(slot_to_atom[i], slot_to_atom[j], CODE_TO_ORDER[code])
+    return mol
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Average a real matrix with its transpose (model outputs are free-form)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return 0.5 * (matrix + matrix.T)
+
+
+def discretize(matrix: np.ndarray) -> np.ndarray:
+    """Project a continuous matrix onto valid integer codes.
+
+    The matrix is symmetrized, then the diagonal is rounded and clipped to
+    [0, 5] (atom codes) and off-diagonals to [0, 4] (bond codes).  This is
+    the bridge from autoencoder output space back to molecule space used by
+    the sampling evaluation (Table II).
+    """
+    sym = symmetrize(matrix)
+    rounded = np.rint(sym).astype(np.int64)
+    diag = np.clip(np.diag(rounded), 0, MAX_ATOM_CODE)
+    off = np.clip(rounded, 0, MAX_BOND_CODE)
+    np.fill_diagonal(off, diag)
+    return off
+
+
+def is_well_formed(matrix: np.ndarray) -> bool:
+    """Check a matrix is symmetric with known codes (not chemical validity)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if not np.array_equal(matrix, matrix.T):
+        return False
+    diag = np.diag(matrix)
+    if np.any((diag < 0) | (diag > MAX_ATOM_CODE)):
+        return False
+    off = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    return not np.any((off < 0) | (off > MAX_BOND_CODE))

@@ -1,0 +1,135 @@
+"""Normalized drug-property metrics for generated molecule sets (Table II).
+
+The paper reports QED, logP, and SA for sampled ligands on a [0, 1] scale
+(e.g. logP 0.357-0.780).  That is the MolGAN-style normalization the
+authors' companion work uses:
+
+* QED is already in [0, 1];
+* logP is min-max normalized over the empirical drug range
+  [-2.12178879609, 6.0429063424] and clipped;
+* SA is mapped as (10 - SA) / 9 so that *higher is better* (easier to
+  synthesize).
+
+Set-level metrics aggregate over molecules decoded from generated matrices,
+after lenient validity correction (see :mod:`repro.chem.valence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .crippen import crippen_logp
+from .matrix import decode_molecule, discretize
+from .molecule import Molecule
+from .qed import qed
+from .sa import FragmentTable, sa_score
+from .valence import is_valid, sanitize_lenient
+
+__all__ = [
+    "LOGP_RANGE",
+    "normalized_logp",
+    "normalized_sa",
+    "MoleculeSetScores",
+    "score_molecules",
+    "score_matrices",
+    "uniqueness",
+]
+
+LOGP_RANGE = (-2.12178879609, 6.0429063424)
+
+
+def normalized_logp(mol: Molecule) -> float:
+    """Min-max normalized Crippen logP, clipped to [0, 1]."""
+    low, high = LOGP_RANGE
+    return float(np.clip((crippen_logp(mol) - low) / (high - low), 0.0, 1.0))
+
+
+def normalized_sa(mol: Molecule, table: FragmentTable | None = None) -> float:
+    """(10 - SA)/9 in [0, 1]; higher = more synthesizable."""
+    return float(np.clip((10.0 - sa_score(mol, table)) / 9.0, 0.0, 1.0))
+
+
+@dataclass
+class MoleculeSetScores:
+    """Aggregate metrics over a generated molecule set."""
+
+    n_total: int
+    n_scored: int
+    validity: float  # fraction strictly valid before correction
+    qed: float
+    logp: float
+    sa: float
+    uniqueness: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "QED": self.qed,
+            "logP": self.logp,
+            "SA": self.sa,
+            "validity": self.validity,
+            "uniqueness": self.uniqueness,
+        }
+
+
+def score_molecules(
+    molecules: list[Molecule],
+    table: FragmentTable | None = None,
+    correct: bool = True,
+) -> MoleculeSetScores:
+    """Mean normalized QED / logP / SA over a molecule set.
+
+    With ``correct=True`` (Table II mode) every molecule is repaired via
+    lenient sanitization first and empty repairs are skipped; strict
+    validity is still reported.  With ``correct=False`` only strictly valid
+    molecules are scored.
+    """
+    n_total = len(molecules)
+    strictly_valid = sum(1 for m in molecules if is_valid(m))
+    scored: list[Molecule] = []
+    for mol in molecules:
+        candidate = sanitize_lenient(mol) if correct else mol
+        if candidate.num_atoms == 0:
+            continue
+        if not correct and not is_valid(candidate):
+            continue
+        scored.append(candidate)
+
+    if not scored:
+        return MoleculeSetScores(n_total, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    qed_values = [qed(m) for m in scored]
+    logp_values = [normalized_logp(m) for m in scored]
+    sa_values = [normalized_sa(m, table) for m in scored]
+    return MoleculeSetScores(
+        n_total=n_total,
+        n_scored=len(scored),
+        validity=strictly_valid / n_total if n_total else 0.0,
+        qed=float(np.mean(qed_values)),
+        logp=float(np.mean(logp_values)),
+        sa=float(np.mean(sa_values)),
+        uniqueness=uniqueness(scored),
+    )
+
+
+def score_matrices(
+    matrices: np.ndarray,
+    table: FragmentTable | None = None,
+    correct: bool = True,
+) -> MoleculeSetScores:
+    """Decode a stack of (possibly continuous) matrices and score the set."""
+    molecules = [
+        decode_molecule(discretize(matrix)) for matrix in np.asarray(matrices)
+    ]
+    return score_molecules(molecules, table=table, correct=correct)
+
+
+def uniqueness(molecules: list[Molecule]) -> float:
+    """Fraction of distinct molecules (by canonical graph signature)."""
+    from .scaffold import canonical_signature
+
+    if not molecules:
+        return 0.0
+    keys = {canonical_signature(m) for m in molecules}
+    return len(keys) / len(molecules)

@@ -1,0 +1,135 @@
+"""Quantitative Estimate of Druglikeness (Bickerton et al., 2012).
+
+QED combines eight descriptors through asymmetric double-sigmoid
+desirability functions (ADS) and takes their weighted geometric mean:
+
+    ADS(x) = a + b / (1 + exp(-(x - c + d/2)/e)) *
+                 (1 - 1 / (1 + exp(-(x - c - d/2)/f)))
+    d_i = ADS_i(x_i) / ADS_i^max
+    QED = exp( sum_i w_i ln d_i / sum_i w_i )
+
+The ADS parameters and weights below are the published values (as shipped
+in RDKit's ``Chem.QED``).  Descriptor extraction uses this package's
+substitutes (Crippen logP, condensed TPSA, Brenk-style alerts), so absolute
+QED values can differ slightly from RDKit's, but the desirability geometry
+— the part that ranks generated molecules in Table II — is identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .crippen import crippen_logp
+from .descriptors import (
+    aromatic_ring_count,
+    hydrogen_bond_acceptors,
+    hydrogen_bond_donors,
+    rotatable_bonds,
+    structural_alerts,
+    tpsa,
+)
+from .molecule import Molecule
+
+__all__ = ["ADSParams", "ads", "qed", "qed_properties", "QED_WEIGHTS"]
+
+
+@dataclass(frozen=True)
+class ADSParams:
+    """Coefficients of one asymmetric double sigmoid."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+    e: float
+    f: float
+    dmax: float
+
+
+# Published ADS parameter sets, keyed by descriptor name.
+ADS_PARAMS: dict[str, ADSParams] = {
+    "MW": ADSParams(
+        2.817065973, 392.5754953, 290.7489764, 2.419764353,
+        49.22325677, 65.37051707, 104.9805561,
+    ),
+    "ALOGP": ADSParams(
+        3.172690585, 137.8624751, 2.534937431, 4.581497897,
+        0.822739154, 0.576295591, 131.3186604,
+    ),
+    "HBA": ADSParams(
+        2.948620388, 160.4605972, 3.615294657, 4.435986202,
+        0.290141953, 1.300669958, 148.7763046,
+    ),
+    "HBD": ADSParams(
+        1.618662227, 1010.051101, 0.985094388, 0.000000001,
+        0.713820843, 0.920922555, 258.1632616,
+    ),
+    "PSA": ADSParams(
+        1.876861559, 125.2232657, 62.90773554, 87.83366614,
+        12.01999824, 28.51324732, 104.5686167,
+    ),
+    "ROTB": ADSParams(
+        0.010000051, 272.4121427, 2.558379970, 1.565547684,
+        1.271567166, 2.758063707, 105.4420403,
+    ),
+    "AROM": ADSParams(
+        3.217788970, 957.7374108, 2.274627939, 0.000000001,
+        1.317690384, 0.375760881, 312.3372610,
+    ),
+    "ALERTS": ADSParams(
+        0.010000000, 1199.094025, -0.09002883, 0.000000001,
+        0.185904477, 0.875193782, 417.7253140,
+    ),
+}
+
+# Published mean weights for the weighted QED (QEDw).
+QED_WEIGHTS: dict[str, float] = {
+    "MW": 0.66,
+    "ALOGP": 0.46,
+    "HBA": 0.05,
+    "HBD": 0.61,
+    "PSA": 0.06,
+    "ROTB": 0.65,
+    "AROM": 0.48,
+    "ALERTS": 0.95,
+}
+
+_MIN_DESIRABILITY = 1e-10
+
+
+def ads(x: float, params: ADSParams) -> float:
+    """Evaluate one desirability function, normalized to (0, 1]."""
+    rising = 1.0 + math.exp(-(x - params.c + params.d / 2.0) / params.e)
+    falling = 1.0 + math.exp(-(x - params.c - params.d / 2.0) / params.f)
+    value = params.a + params.b / rising * (1.0 - 1.0 / falling)
+    return max(value / params.dmax, _MIN_DESIRABILITY)
+
+
+def qed_properties(mol: Molecule) -> dict[str, float]:
+    """The eight raw QED descriptors for a molecule."""
+    return {
+        "MW": mol.molecular_weight(),
+        "ALOGP": crippen_logp(mol),
+        "HBA": float(hydrogen_bond_acceptors(mol)),
+        "HBD": float(hydrogen_bond_donors(mol)),
+        "PSA": tpsa(mol),
+        "ROTB": float(rotatable_bonds(mol)),
+        "AROM": float(aromatic_ring_count(mol)),
+        "ALERTS": float(structural_alerts(mol)),
+    }
+
+
+def qed(mol: Molecule, weights: dict[str, float] | None = None) -> float:
+    """Weighted QED in [0, 1]; higher is more druglike."""
+    if mol.num_atoms == 0:
+        return 0.0
+    weights = weights if weights is not None else QED_WEIGHTS
+    properties = qed_properties(mol)
+    log_sum = 0.0
+    weight_sum = 0.0
+    for name, value in properties.items():
+        weight = weights[name]
+        log_sum += weight * math.log(ads(value, ADS_PARAMS[name]))
+        weight_sum += weight
+    return math.exp(log_sum / weight_sum)

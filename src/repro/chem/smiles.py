@@ -1,0 +1,149 @@
+"""Minimal SMILES writer and parser for the supported element set.
+
+The writer emits explicit bond symbols (``=``, ``#``, and ``:`` for
+aromatic bonds) with uppercase atoms, avoiding kekulization: ``C1:C:C:C:C:C1``
+is the benzene output.  The parser accepts the same dialect plus the common
+implicit-single-bond form, branches, and two-digit ``%nn`` ring closures.
+It exists for tests, examples, and debugging — the learning pipeline itself
+works on molecule matrices.
+"""
+
+from __future__ import annotations
+
+from .molecule import AROMATIC, Molecule
+
+__all__ = ["to_smiles", "from_smiles"]
+
+_BOND_SYMBOL = {1.0: "", 2.0: "=", 3.0: "#", AROMATIC: ":"}
+_SYMBOL_BOND = {"-": 1.0, "=": 2.0, "#": 3.0, ":": AROMATIC}
+_TWO_CHAR = {"Cl"}
+
+
+def to_smiles(mol: Molecule) -> str:
+    """Serialize a connected molecule (deterministic DFS from atom 0)."""
+    if mol.num_atoms == 0:
+        return ""
+    if not mol.is_connected():
+        raise ValueError("to_smiles requires a connected molecule")
+
+    ring_digits: dict[tuple[int, int], int] = {}
+    next_digit = [1]
+    visited: set[int] = set()
+    tree_edges: set[tuple[int, int]] = set()
+
+    # First pass: find DFS tree edges; everything else is a ring closure.
+    stack = [0]
+    parent: dict[int, int | None] = {0: None}
+    order: list[int] = []
+    while stack:
+        atom = stack.pop()
+        if atom in visited:
+            continue
+        visited.add(atom)
+        order.append(atom)
+        for nbr in sorted(mol.neighbors(atom), reverse=True):
+            if nbr not in visited:
+                parent.setdefault(nbr, atom)
+                stack.append(nbr)
+    for atom in order:
+        p = parent.get(atom)
+        if p is not None:
+            tree_edges.add((min(atom, p), max(atom, p)))
+    for i, j, __ in mol.bonds():
+        key = (i, j)
+        if key not in tree_edges and key not in ring_digits:
+            ring_digits[key] = next_digit[0]
+            next_digit[0] += 1
+
+    out: list[str] = []
+    seen: set[int] = set()
+
+    def emit(atom: int, from_atom: int | None) -> None:
+        if from_atom is not None:
+            out.append(_BOND_SYMBOL[mol.bond_order(atom, from_atom)])
+        out.append(mol.symbols[atom])
+        seen.add(atom)
+        for (i, j), digit in ring_digits.items():
+            if atom in (i, j):
+                out.append(_BOND_SYMBOL[mol.bond_order(i, j)])
+                out.append(str(digit) if digit < 10 else f"%{digit}")
+        children = [
+            nbr
+            for nbr in sorted(mol.neighbors(atom))
+            if parent.get(nbr) == atom and nbr not in seen
+        ]
+        for index, child in enumerate(children):
+            if index < len(children) - 1:
+                out.append("(")
+                emit(child, atom)
+                out.append(")")
+            else:
+                emit(child, atom)
+
+    emit(0, None)
+    return "".join(out)
+
+
+def from_smiles(smiles: str) -> Molecule:
+    """Parse the dialect emitted by :func:`to_smiles` (plus '-' bonds)."""
+    mol = Molecule()
+    prev_atom: int | None = None
+    pending_bond: float | None = None
+    branch_stack: list[int] = []
+    open_rings: dict[int, tuple[int, float | None]] = {}
+
+    i = 0
+    while i < len(smiles):
+        ch = smiles[i]
+        if ch in _SYMBOL_BOND:
+            pending_bond = _SYMBOL_BOND[ch]
+            i += 1
+        elif ch == "(":
+            if prev_atom is None:
+                raise ValueError("branch before any atom")
+            branch_stack.append(prev_atom)
+            i += 1
+        elif ch == ")":
+            if not branch_stack:
+                raise ValueError("unbalanced ')'")
+            prev_atom = branch_stack.pop()
+            i += 1
+        elif ch.isdigit() or ch == "%":
+            if ch == "%":
+                digit = int(smiles[i + 1 : i + 3])
+                i += 3
+            else:
+                digit = int(ch)
+                i += 1
+            if prev_atom is None:
+                raise ValueError("ring closure before any atom")
+            if digit in open_rings:
+                other, bond = open_rings.pop(digit)
+                order = bond if bond is not None else (
+                    pending_bond if pending_bond is not None else 1.0
+                )
+                mol.add_bond(prev_atom, other, order)
+            else:
+                open_rings[digit] = (prev_atom, pending_bond)
+            pending_bond = None
+        else:
+            symbol = None
+            for candidate in _TWO_CHAR:
+                if smiles.startswith(candidate, i):
+                    symbol = candidate
+                    break
+            if symbol is None:
+                symbol = ch
+            atom = mol.add_atom(symbol)
+            if prev_atom is not None:
+                mol.add_bond(
+                    prev_atom, atom, pending_bond if pending_bond is not None else 1.0
+                )
+            prev_atom = atom
+            pending_bond = None
+            i += len(symbol)
+    if branch_stack:
+        raise ValueError("unbalanced '('")
+    if open_rings:
+        raise ValueError(f"unclosed ring digits: {sorted(open_rings)}")
+    return mol

@@ -1,0 +1,252 @@
+"""Command-line interface for the library.
+
+Subcommands::
+
+    python -m repro.cli train   --model sq-vae --dataset pdbbind \\
+                                --samples 96 --epochs 4 --out runs/sq.npz
+    python -m repro.cli sample  --checkpoint runs/sq.npz --count 20
+    python -m repro.cli stats   --dataset qm9 --samples 256
+    python -m repro.cli draw    --model f-bq-ae
+
+``train`` checkpoints the model with enough metadata for ``sample`` to
+rebuild the same architecture; ``sample`` decodes prior noise into
+molecules and prints SMILES with QED / logP / SA scores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .chem import qed, sanitize_lenient, to_smiles
+from .chem.metrics import normalized_logp, normalized_sa
+from .chem.sa import default_fragment_table
+from .data import (
+    dataset_statistics,
+    load_cifar_gray,
+    load_digits,
+    load_pdbbind_ligands,
+    load_qm9,
+    train_test_split,
+)
+from .evaluation.sampling import sample_molecules
+from .models import (
+    ClassicalAE,
+    ClassicalVAE,
+    FullyQuantumAE,
+    FullyQuantumVAE,
+    HybridQuantumAE,
+    HybridQuantumVAE,
+    ScalableQuantumAE,
+    ScalableQuantumVAE,
+)
+from .nn.serialization import load_module, save_module
+from .training import TrainConfig, Trainer
+
+__all__ = ["main"]
+
+_DATASETS = {
+    "qm9": (load_qm9, 64),
+    "pdbbind": (load_pdbbind_ligands, 1024),
+    "digits": (load_digits, 64),
+    "cifar": (load_cifar_gray, 1024),
+}
+
+_MOLECULE_DATASETS = {"qm9", "pdbbind"}
+
+
+def _build_model(name: str, input_dim: int, n_patches: int, n_layers: int,
+                 latent_dim: int, seed: int):
+    rng = np.random.default_rng(seed)
+    builders = {
+        "ae": lambda: ClassicalAE(input_dim=input_dim, latent_dim=latent_dim,
+                                  rng=rng),
+        "vae": lambda: ClassicalVAE(input_dim=input_dim, latent_dim=latent_dim,
+                                    rng=rng, noise_seed=seed),
+        "f-bq-ae": lambda: FullyQuantumAE(input_dim=input_dim,
+                                          n_layers=n_layers, rng=rng),
+        "f-bq-vae": lambda: FullyQuantumVAE(input_dim=input_dim,
+                                            n_layers=n_layers, rng=rng,
+                                            noise_seed=seed),
+        "h-bq-ae": lambda: HybridQuantumAE(input_dim=input_dim,
+                                           n_layers=n_layers, rng=rng),
+        "h-bq-vae": lambda: HybridQuantumVAE(input_dim=input_dim,
+                                             n_layers=n_layers, rng=rng,
+                                             noise_seed=seed),
+        "sq-ae": lambda: ScalableQuantumAE(input_dim=input_dim,
+                                           n_patches=n_patches,
+                                           n_layers=n_layers, rng=rng),
+        "sq-vae": lambda: ScalableQuantumVAE(input_dim=input_dim,
+                                             n_patches=n_patches,
+                                             n_layers=n_layers, rng=rng,
+                                             noise_seed=seed),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from {sorted(builders)}"
+        ) from None
+
+
+MODEL_CHOICES = ("ae", "vae", "f-bq-ae", "f-bq-vae", "h-bq-ae", "h-bq-vae",
+                 "sq-ae", "sq-vae")
+
+
+def _load_dataset(name: str, n_samples: int, seed: int):
+    loader, input_dim = _DATASETS[name]
+    return loader(n_samples=n_samples, seed=seed), input_dim
+
+
+def _cmd_train(args) -> int:
+    data, input_dim = _load_dataset(args.dataset, args.samples, args.seed)
+    if args.normalize:
+        data = data.normalized()
+    train, test = train_test_split(data, test_fraction=0.15, seed=args.seed)
+    default_layers = 5 if args.model.startswith("sq") else 3
+    n_layers = args.layers if args.layers else default_layers
+    model = _build_model(args.model, input_dim, args.patches, n_layers,
+                         args.latent, args.seed)
+    if args.warm_start_bias:
+        model.init_output_bias(train.features.mean(axis=0))
+
+    config = TrainConfig(
+        epochs=args.epochs, batch_size=args.batch_size,
+        quantum_lr=args.quantum_lr, classical_lr=args.classical_lr,
+        seed=args.seed,
+    )
+    trainer = Trainer(model, config)
+    history = trainer.fit(train, test_data=test)
+    for record in history.epochs:
+        print(f"epoch {record.epoch}: train {record.train_loss:.4f} "
+              f"test {record.test_loss:.4f}")
+
+    if args.out:
+        metadata = {
+            "model": args.model,
+            "input_dim": input_dim,
+            "n_patches": args.patches,
+            "n_layers": n_layers,
+            "latent_dim": args.latent,
+            "dataset": args.dataset,
+            "seed": args.seed,
+            "final_train_loss": history.final_train_loss,
+        }
+        path = save_module(model, args.out, metadata=metadata)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    # Rebuild the architecture from checkpoint metadata, then load weights.
+    import json
+    from pathlib import Path
+
+    path = Path(args.checkpoint)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__repro_meta__"]).decode("utf-8"))
+    model = _build_model(meta["model"], meta["input_dim"], meta["n_patches"],
+                         meta["n_layers"], meta["latent_dim"], meta["seed"])
+    load_module(model, path)
+    if not model.is_variational:
+        raise SystemExit(
+            f"{meta['model']} is a vanilla autoencoder; only VAEs sample "
+            "(Section I of the paper)"
+        )
+
+    molecules = sample_molecules(model, args.count,
+                                 np.random.default_rng(args.seed))
+    table = default_fragment_table()
+    print(f"{'QED':>6} {'logP':>6} {'SA':>6}  molecule")
+    printed = 0
+    for mol in molecules:
+        repaired = sanitize_lenient(mol)
+        if repaired.num_atoms == 0:
+            continue
+        smiles = (to_smiles(repaired) if repaired.is_connected()
+                  else repaired.molecular_formula())
+        print(f"{qed(repaired):6.3f} {normalized_logp(repaired):6.3f} "
+              f"{normalized_sa(repaired, table):6.3f}  {smiles[:60]}")
+        printed += 1
+    print(f"\n{printed}/{args.count} samples decoded to usable molecules")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    if args.dataset not in _MOLECULE_DATASETS:
+        raise SystemExit("stats requires a molecule dataset (qm9 or pdbbind)")
+    data, __ = _load_dataset(args.dataset, args.samples, args.seed)
+    print(dataset_statistics(data).format_table())
+    return 0
+
+
+def _cmd_draw(args) -> int:
+    from .quantum import draw
+
+    model = _build_model(args.model, 64 if not args.model.startswith("sq")
+                         else 64, args.patches, args.layers or 3, 6, args.seed)
+    if hasattr(model, "encoder_q"):
+        encoder = model.encoder_q
+        circuit = (encoder.patches[0].circuit
+                   if hasattr(encoder, "patches") else encoder.circuit)
+        print(draw(circuit, max_columns=args.columns))
+    else:
+        raise SystemExit(f"{args.model} has no quantum encoder to draw")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv`` (defaults to sys.argv) and dispatch."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train an autoencoder")
+    train.add_argument("--model", choices=MODEL_CHOICES, required=True)
+    train.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    train.add_argument("--samples", type=int, default=96)
+    train.add_argument("--epochs", type=int, default=4)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--quantum-lr", type=float, default=0.03)
+    train.add_argument("--classical-lr", type=float, default=0.01)
+    train.add_argument("--patches", type=int, default=4)
+    train.add_argument("--layers", type=int, default=0,
+                       help="entangling layers (0 = architecture default)")
+    train.add_argument("--latent", type=int, default=6)
+    train.add_argument("--normalize", action="store_true",
+                       help="L1-normalize features (F-BQ models need this)")
+    train.add_argument("--warm-start-bias", action="store_true")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", type=str, default="")
+    train.set_defaults(func=_cmd_train)
+
+    sample = sub.add_parser("sample", help="sample molecules from a checkpoint")
+    sample.add_argument("--checkpoint", required=True)
+    sample.add_argument("--count", type=int, default=10)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.set_defaults(func=_cmd_sample)
+
+    stats = sub.add_parser("stats", help="dataset composition statistics")
+    stats.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
+    stats.add_argument("--samples", type=int, default=128)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.set_defaults(func=_cmd_stats)
+
+    drawcmd = sub.add_parser("draw", help="ASCII-draw a model's encoder circuit")
+    drawcmd.add_argument("--model", choices=MODEL_CHOICES, default="f-bq-ae")
+    drawcmd.add_argument("--patches", type=int, default=4)
+    drawcmd.add_argument("--layers", type=int, default=0)
+    drawcmd.add_argument("--columns", type=int, default=12)
+    drawcmd.add_argument("--seed", type=int, default=0)
+    drawcmd.set_defaults(func=_cmd_draw)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

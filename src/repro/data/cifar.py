@@ -1,0 +1,63 @@
+"""Synthetic 32x32 grayscale natural images (stand-in for CIFAR-10).
+
+The paper grayscales CIFAR-10 to visualize SQ-AE reconstruction quality at
+the 1024-feature scale (Fig. 8b-c).  Real CIFAR is not downloadable
+offline, so we synthesize images with the statistics that matter for a
+reconstruction benchmark: strong low-frequency structure (smooth Gaussian
+random fields), piecewise objects (random ellipses / rectangles with
+intensity gradients), and mild pixel noise, normalized to [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .loader import ArrayDataset
+
+__all__ = ["CIFAR_SIZE", "load_cifar_gray", "synth_image"]
+
+CIFAR_SIZE = 32
+
+
+def synth_image(rng: np.random.Generator, size: int = CIFAR_SIZE) -> np.ndarray:
+    """One synthetic grayscale image in [0, 1]."""
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64) / size
+
+    # Smooth background: sum of a few random low-frequency cosine modes.
+    image = np.zeros((size, size))
+    for _ in range(int(rng.integers(2, 5))):
+        fx, fy = rng.uniform(0.5, 3.0, size=2)
+        phase_x, phase_y = rng.uniform(0, 2 * np.pi, size=2)
+        amp = rng.uniform(0.2, 0.6)
+        image += amp * np.cos(2 * np.pi * fx * xx + phase_x) * np.cos(
+            2 * np.pi * fy * yy + phase_y
+        )
+
+    # Foreground objects: filled ellipses and axis-aligned rectangles.
+    for _ in range(int(rng.integers(1, 4))):
+        value = rng.uniform(-1.0, 1.0)
+        if rng.random() < 0.5:
+            cx, cy = rng.uniform(0.2, 0.8, size=2)
+            rx, ry = rng.uniform(0.08, 0.3, size=2)
+            mask = ((xx - cx) / rx) ** 2 + ((yy - cy) / ry) ** 2 <= 1.0
+        else:
+            x0, y0 = rng.uniform(0.0, 0.6, size=2)
+            w, h = rng.uniform(0.15, 0.4, size=2)
+            mask = (xx >= x0) & (xx <= x0 + w) & (yy >= y0) & (yy <= y0 + h)
+        image = np.where(mask, image + value, image)
+
+    image += rng.normal(0.0, 0.03, size=image.shape)
+    image -= image.min()
+    peak = image.max()
+    if peak > 0:
+        image /= peak
+    return image
+
+
+def load_cifar_gray(n_samples: int = 256, seed: int = 10) -> ArrayDataset:
+    """Image set: features ``(n, 1024)`` in [0, 1], raw ``(n, 32, 32)``."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be positive")
+    rng = np.random.default_rng(seed)
+    images = np.stack([synth_image(rng) for _ in range(n_samples)])
+    return ArrayDataset(images.reshape(n_samples, -1), raw=images, name="cifar-gray")

@@ -1,0 +1,41 @@
+"""Evaluation utilities: reconstruction, sampling, distributions, rendering."""
+
+from .distribution import (
+    DESCRIPTOR_NAMES,
+    DescriptorDistributions,
+    descriptor_matrix,
+    distribution_report,
+)
+from .latent import (
+    decode_to_molecules,
+    encode_to_latent,
+    interpolate_latent,
+    latent_neighborhood,
+)
+from .reconstruction import (
+    per_sample_mse,
+    reconstruct_samples,
+    reconstruction_report,
+)
+from .sampling import sample_and_score, sample_matrices, sample_molecules
+from .visualize import ascii_image, render_molecule_matrix, side_by_side
+
+__all__ = [
+    "per_sample_mse",
+    "reconstruct_samples",
+    "reconstruction_report",
+    "sample_matrices",
+    "sample_molecules",
+    "sample_and_score",
+    "ascii_image",
+    "render_molecule_matrix",
+    "side_by_side",
+    "DescriptorDistributions",
+    "DESCRIPTOR_NAMES",
+    "descriptor_matrix",
+    "distribution_report",
+    "encode_to_latent",
+    "interpolate_latent",
+    "decode_to_molecules",
+    "latent_neighborhood",
+]

@@ -1,0 +1,95 @@
+"""Latent-space navigation: interpolation and neighborhood exploration.
+
+The paper's introduction frames generative autoencoders as tools for
+*navigating the chemical space*; these helpers make that navigation
+concrete: walk a straight line between two molecules' latent codes and
+decode each step, or sample a local neighborhood around one molecule to
+find close structural variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem.matrix import decode_molecule, discretize
+from ..chem.molecule import Molecule
+from ..chem.valence import sanitize_lenient
+from ..models.base import Autoencoder
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = [
+    "encode_to_latent",
+    "interpolate_latent",
+    "decode_to_molecules",
+    "latent_neighborhood",
+]
+
+
+def encode_to_latent(model: Autoencoder, features: np.ndarray) -> np.ndarray:
+    """Deterministic latent codes (posterior mean for VAEs), ``(n, lsd)``."""
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    with no_grad():
+        latent = model.encode(Tensor(features))
+    return latent.data
+
+
+def interpolate_latent(
+    model: Autoencoder,
+    start_features: np.ndarray,
+    end_features: np.ndarray,
+    steps: int = 7,
+) -> np.ndarray:
+    """Decode a straight latent-space line between two inputs.
+
+    Returns ``(steps, input_dim)`` reconstructions; endpoints are the
+    decoded codes of the two inputs (not the inputs themselves).
+    """
+    if steps < 2:
+        raise ValueError("interpolation needs at least 2 steps")
+    codes = encode_to_latent(
+        model, np.stack([np.ravel(start_features), np.ravel(end_features)])
+    )
+    weights = np.linspace(0.0, 1.0, steps)[:, None]
+    path = (1.0 - weights) * codes[0] + weights * codes[1]
+    with no_grad():
+        decoded = model.decode(Tensor(path))
+    return decoded.data
+
+
+def decode_to_molecules(
+    flat_outputs: np.ndarray, repair: bool = True
+) -> list[Molecule]:
+    """Reshape decoder outputs to square matrices and decode each one."""
+    flat_outputs = np.atleast_2d(np.asarray(flat_outputs))
+    size = int(round(np.sqrt(flat_outputs.shape[1])))
+    if size * size != flat_outputs.shape[1]:
+        raise ValueError(
+            f"{flat_outputs.shape[1]} features is not a square matrix"
+        )
+    molecules = []
+    for row in flat_outputs:
+        mol = decode_molecule(discretize(row.reshape(size, size)))
+        molecules.append(sanitize_lenient(mol) if repair else mol)
+    return molecules
+
+
+def latent_neighborhood(
+    model: Autoencoder,
+    features: np.ndarray,
+    n_samples: int,
+    radius: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Decode Gaussian perturbations of one input's latent code.
+
+    ``radius`` is the standard deviation of the isotropic noise added to
+    the code — small radii produce close structural variants, large radii
+    approach prior sampling.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    code = encode_to_latent(model, features)[0]
+    noise = rng.normal(0.0, radius, size=(n_samples, code.size))
+    with no_grad():
+        decoded = model.decode(Tensor(code[None, :] + noise))
+    return decoded.data

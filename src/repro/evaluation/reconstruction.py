@@ -1,0 +1,47 @@
+"""Reconstruction-quality evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.loader import ArrayDataset
+from ..models.base import Autoencoder
+
+__all__ = ["per_sample_mse", "reconstruct_samples", "reconstruction_report"]
+
+
+def per_sample_mse(model: Autoencoder, features: np.ndarray) -> np.ndarray:
+    """MSE of each sample's reconstruction, shape ``(n,)``."""
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    recon = model.reconstruct(features)
+    return ((recon - features) ** 2).mean(axis=1)
+
+
+def reconstruct_samples(
+    model: Autoencoder,
+    dataset: ArrayDataset,
+    n_samples: int = 3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pick random samples and reconstruct them (paper's qualitative panels).
+
+    Returns ``(originals, reconstructions)`` with shape ``(n, features)``.
+    """
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(dataset), size=min(n_samples, len(dataset)),
+                         replace=False)
+    originals = dataset.features[indices]
+    return originals, model.reconstruct(originals)
+
+
+def reconstruction_report(
+    model: Autoencoder, dataset: ArrayDataset
+) -> dict[str, float]:
+    """Summary statistics of reconstruction error over a dataset."""
+    errors = per_sample_mse(model, dataset.features)
+    return {
+        "mean_mse": float(errors.mean()),
+        "median_mse": float(np.median(errors)),
+        "worst_mse": float(errors.max()),
+        "best_mse": float(errors.min()),
+    }

@@ -1,0 +1,54 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+============  ================================================
+Experiment    Entry point
+============  ================================================
+Table I       :func:`repro.experiments.table1.run_table1`
+Table II      :func:`repro.experiments.table2.run_table2`
+Fig. 4        :func:`repro.experiments.fig4.run_fig4`
+Fig. 5        :func:`repro.experiments.fig5.run_fig5`
+Fig. 6        :func:`repro.experiments.fig6.run_fig6`
+Fig. 7        :func:`repro.experiments.fig7.run_fig7`
+Fig. 8        :func:`repro.experiments.fig8.run_fig8`
+============  ================================================
+
+All drivers read workload sizes from :func:`repro.experiments.config.get_scale`
+(``REPRO_FULL=1`` for paper-scale runs) and can also be invoked from the
+command line: ``python -m repro.experiments.run fig6``.
+"""
+
+from .config import FAST, FULL, Scale, get_scale
+from .fig4 import Fig4Config, Fig4Result, run_fig4
+from .fig5 import Fig5Config, Fig5Result, run_fig5
+from .fig6 import Fig6Config, Fig6Result, run_fig6
+from .fig7 import Fig7Config, Fig7Result, run_fig7
+from .fig8 import Fig8Config, Fig8Result, run_fig8
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Config, Table2Result, run_table2
+
+__all__ = [
+    "Scale",
+    "FAST",
+    "FULL",
+    "get_scale",
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Config",
+    "Table2Result",
+    "run_fig4",
+    "Fig4Config",
+    "Fig4Result",
+    "run_fig5",
+    "Fig5Config",
+    "Fig5Result",
+    "run_fig6",
+    "Fig6Config",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig8",
+    "Fig8Config",
+    "Fig8Result",
+]

@@ -1,0 +1,144 @@
+"""Fig. 5 — baseline quantum autoencoders fail on 1024-dim PDBbind ligands.
+
+* (a) reconstruction loss curves for F-BQ-AE, H-BQ-AE, and a classical AE,
+  all squeezed through a 10-dimensional latent space: the fully quantum
+  variant "hardly learns" (probability outputs cannot match original-scale
+  ligand matrices) and the hybrid only partly compensates;
+* (b) classical AEs improve with larger latent spaces (10 -> 128) while
+  VAEs stay nearly flat — the motivation for growing LSD via patches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import load_pdbbind_ligands, train_test_split
+from ..models import ClassicalAE, ClassicalVAE, FullyQuantumAE, HybridQuantumAE
+from ..training import TrainConfig, Trainer
+from .config import Scale, get_scale
+from .tables import format_series, format_table
+
+__all__ = ["Fig5Config", "Fig5Result", "run_fig5"]
+
+
+@dataclass
+class Fig5Config:
+    n_ligands: int = 96
+    epochs: int = 6
+    # Panel (b) knobs: the MLPs are cheap and the latent-capacity effect
+    # only appears near convergence, so the sweep gets a bigger budget and
+    # a faster learning rate than the panel (a) curve comparison.
+    classical_epochs: int = 20
+    classical_lr: float = 0.01
+    bq_layers: int = 3
+    latent_sweep: tuple[int, ...] = (10, 16, 32, 64, 128)
+    batch_size: int = 32
+    lr: float = 0.001
+    seed: int = 0
+
+    @classmethod
+    def from_scale(cls, scale: Scale | None = None, seed: int = 0) -> "Fig5Config":
+        scale = scale if scale is not None else get_scale()
+        return cls(
+            n_ligands=scale.pdbbind_samples,
+            epochs=max(scale.epochs, 6),
+            classical_epochs=max(scale.epochs, 20),
+            bq_layers=scale.bq_layers,
+            batch_size=scale.batch_size,
+            seed=seed,
+        )
+
+
+@dataclass
+class Fig5Result:
+    curves: dict[str, list[float]] = field(default_factory=dict)  # panel (a)
+    lsd_losses: dict[str, dict[int, float]] = field(default_factory=dict)  # (b)
+
+    def baseline_quantum_fails(self) -> bool:
+        """Panel (a)'s finding: the classical AE beats both BQ variants."""
+        ae = self.curves["AE 10D"][-1]
+        return ae < self.curves["F-BQ-AE 10D"][-1] and ae < self.curves[
+            "H-BQ-AE 10D"
+        ][-1]
+
+    def ae_improves_with_lsd(self) -> bool:
+        """Panel (b)'s finding: AE test loss falls as LSD grows."""
+        losses = self.lsd_losses["AE"]
+        lsds = sorted(losses)
+        return losses[lsds[-1]] < losses[lsds[0]]
+
+    def vae_flatter_than_ae(self) -> bool:
+        """Panel (b): the VAE's LSD response is much flatter than the AE's."""
+        ae = self.lsd_losses["AE"]
+        vae = self.lsd_losses["VAE"]
+        lsds = sorted(ae)
+        ae_drop = ae[lsds[0]] - ae[lsds[-1]]
+        vae_drop = vae[lsds[0]] - vae[lsds[-1]]
+        return abs(vae_drop) < abs(ae_drop)
+
+    def format_table(self) -> str:
+        lines = ["Fig. 5(a): reconstruction MSE per epoch (PDBbind, LSD 10)"]
+        for name, curve in self.curves.items():
+            lines.append("  " + format_series(name, curve))
+        lsds = sorted(next(iter(self.lsd_losses.values())))
+        rows = [
+            [model] + [self.lsd_losses[model][lsd] for lsd in lsds]
+            for model in self.lsd_losses
+        ]
+        lines.append(
+            format_table(
+                ["Model"] + [f"LSD-{lsd}" for lsd in lsds],
+                rows,
+                title="Fig. 5(b): test reconstruction MSE vs latent dimension",
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
+    """Train the panel (a) trio and the panel (b) LSD sweep."""
+    config = config if config is not None else Fig5Config.from_scale()
+    result = Fig5Result()
+    dataset = load_pdbbind_ligands(n_samples=config.n_ligands, seed=config.seed)
+    train, test = train_test_split(dataset, test_fraction=0.15, seed=config.seed)
+
+    def train_config() -> TrainConfig:
+        return TrainConfig(
+            epochs=config.epochs, batch_size=config.batch_size,
+            quantum_lr=config.lr, classical_lr=config.lr, seed=config.seed,
+        )
+
+    # Panel (a): LSD-10 models on 1024 features.
+    rng = np.random.default_rng(config.seed)
+    panel_a = {
+        "F-BQ-AE 10D": FullyQuantumAE(input_dim=1024, n_layers=config.bq_layers,
+                                      rng=rng),
+        "H-BQ-AE 10D": HybridQuantumAE(input_dim=1024, n_layers=config.bq_layers,
+                                       rng=rng),
+        "AE 10D": ClassicalAE(input_dim=1024, latent_dim=10, rng=rng),
+    }
+    for name, model in panel_a.items():
+        history = Trainer(model, train_config()).fit(train)
+        result.curves[name] = [r.train_reconstruction for r in history.epochs]
+
+    # Panel (b): classical AE/VAE latent sweep, test loss after the budget.
+    sweep_config = TrainConfig(
+        epochs=config.classical_epochs, batch_size=config.batch_size,
+        quantum_lr=config.classical_lr, classical_lr=config.classical_lr,
+        seed=config.seed,
+    )
+    for model_name in ("AE", "VAE"):
+        result.lsd_losses[model_name] = {}
+        for lsd in config.latent_sweep:
+            rng = np.random.default_rng(config.seed + lsd)
+            if model_name == "AE":
+                model = ClassicalAE(input_dim=1024, latent_dim=lsd, rng=rng)
+            else:
+                model = ClassicalVAE(input_dim=1024, latent_dim=lsd, rng=rng,
+                                     noise_seed=config.seed)
+            trainer = Trainer(model, sweep_config)
+            trainer.fit(train)
+            result.lsd_losses[model_name][lsd] = trainer.evaluate(test)
+    return result

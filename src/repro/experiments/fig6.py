@@ -1,0 +1,105 @@
+"""Fig. 6 — quantum layer depth ablation for the scalable autoencoder.
+
+Sweeps the number of strongly entangling layers L = 1..9 in an SQ-AE on
+PDBbind ligands and records train/test reconstruction MSE at two epoch
+checkpoints.  The paper finds a U-shape: "too few quantum layers hurts
+expressive power, whereas too many layers possibly create unwanted number
+of spurious local minima", with L = 5 the best test loss — the depth every
+later SQ experiment uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import load_pdbbind_ligands, train_test_split
+from ..models import ScalableQuantumAE
+from ..training import TrainConfig, Trainer
+from .config import Scale, get_scale
+from .tables import format_table
+
+__all__ = ["Fig6Config", "Fig6Result", "run_fig6"]
+
+
+@dataclass
+class Fig6Config:
+    depths: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+    n_ligands: int = 96
+    n_patches: int = 4
+    epochs: int = 4
+    eval_epochs: tuple[int, int] = (2, 4)
+    batch_size: int = 32
+    lr: float = 0.001  # Section IV-B: lr 0.001 for the depth tuning
+    seed: int = 0
+
+    @classmethod
+    def from_scale(cls, scale: Scale | None = None, seed: int = 0) -> "Fig6Config":
+        scale = scale if scale is not None else get_scale()
+        return cls(
+            n_ligands=scale.pdbbind_samples,
+            epochs=scale.ablation_epochs,
+            eval_epochs=scale.eval_epochs,
+            batch_size=scale.batch_size,
+            seed=seed,
+        )
+
+
+@dataclass
+class Fig6Result:
+    # {depth: {"train@e1": ..., "test@e1": ..., "train@e2": ..., "test@e2": ...}}
+    losses: dict[int, dict[str, float]] = field(default_factory=dict)
+    eval_epochs: tuple[int, int] = (2, 4)
+
+    def best_depth(self, key: str | None = None) -> int:
+        """Depth with the lowest loss for the given column (default: final test)."""
+        key = key if key is not None else f"test@{self.eval_epochs[1]}"
+        return min(self.losses, key=lambda depth: self.losses[depth][key])
+
+    def format_table(self) -> str:
+        e1, e2 = self.eval_epochs
+        headers = ["Layers", f"Train@{e1}", f"Test@{e1}", f"Train@{e2}",
+                   f"Test@{e2}"]
+        rows = [
+            [depth, row[f"train@{e1}"], row[f"test@{e1}"],
+             row[f"train@{e2}"], row[f"test@{e2}"]]
+            for depth, row in sorted(self.losses.items())
+        ]
+        table = format_table(
+            headers, rows,
+            title="Fig. 6: SQ-AE reconstruction MSE vs quantum layer depth",
+        )
+        return f"{table}\nbest depth by final test loss: {self.best_depth()}"
+
+
+def run_fig6(config: Fig6Config | None = None) -> Fig6Result:
+    """Train one SQ-AE per depth and checkpoint losses at two epochs."""
+    config = config if config is not None else Fig6Config.from_scale()
+    dataset = load_pdbbind_ligands(n_samples=config.n_ligands, seed=config.seed)
+    train, test = train_test_split(dataset, test_fraction=0.15, seed=config.seed)
+    e1, e2 = config.eval_epochs
+    if not 1 <= e1 < e2 <= config.epochs:
+        raise ValueError(
+            f"eval epochs {config.eval_epochs} must fit within {config.epochs}"
+        )
+    result = Fig6Result(eval_epochs=config.eval_epochs)
+
+    for depth in config.depths:
+        model = ScalableQuantumAE(
+            input_dim=1024, n_patches=config.n_patches, n_layers=depth,
+            rng=np.random.default_rng(config.seed + depth),
+        )
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=config.epochs, batch_size=config.batch_size,
+                        quantum_lr=config.lr, classical_lr=config.lr,
+                        seed=config.seed),
+        )
+        history = trainer.fit(train, test_data=test)
+        row: dict[str, float] = {}
+        for epoch in (e1, e2):
+            row[f"train@{epoch}"] = history.loss_at_epoch(epoch, "train")
+            row[f"test@{epoch}"] = history.loss_at_epoch(epoch, "test")
+        result.losses[depth] = row
+    return result

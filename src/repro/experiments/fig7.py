@@ -1,0 +1,108 @@
+"""Fig. 7 — heterogeneous learning-rate grid for the hybrid SQ-AE.
+
+Quantum rotation angles live in [-pi, pi] while classical weights roam an
+unbounded space, so a single learning rate can't suit both.  The paper
+sweeps {0.001, 0.003, 0.01, 0.03, 0.1} for each parameter family (a 5x5
+grid of SQ-AE runs) and picks quantum 0.03 / classical 0.01 — the
+configuration every following experiment uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import load_pdbbind_ligands
+from ..models import ScalableQuantumAE
+from ..training import TrainConfig, Trainer
+from .config import Scale, get_scale
+from .tables import format_table
+
+__all__ = ["Fig7Config", "Fig7Result", "run_fig7", "PAPER_BEST_LRS"]
+
+PAPER_LR_GRID = (0.001, 0.003, 0.01, 0.03, 0.1)
+PAPER_BEST_LRS = {"quantum": 0.03, "classical": 0.01}
+
+
+@dataclass
+class Fig7Config:
+    quantum_lrs: tuple[float, ...] = PAPER_LR_GRID
+    classical_lrs: tuple[float, ...] = PAPER_LR_GRID
+    n_ligands: int = 48
+    n_patches: int = 4
+    n_layers: int = 5
+    epochs: int = 2
+    batch_size: int = 32
+    seed: int = 0
+
+    @classmethod
+    def from_scale(cls, scale: Scale | None = None, seed: int = 0) -> "Fig7Config":
+        scale = scale if scale is not None else get_scale()
+        return cls(
+            n_ligands=scale.lr_grid_samples,
+            n_layers=scale.sq_layers,
+            epochs=max(2, scale.epochs // 2),
+            batch_size=scale.batch_size,
+            seed=seed,
+        )
+
+
+@dataclass
+class Fig7Result:
+    # losses[(quantum_lr, classical_lr)] = final train loss
+    losses: dict[tuple[float, float], float] = field(default_factory=dict)
+
+    def best_combination(self) -> tuple[float, float]:
+        """(quantum_lr, classical_lr) with the lowest training loss."""
+        return min(self.losses, key=self.losses.get)
+
+    def loss_grid(self) -> np.ndarray:
+        q_values = sorted({q for q, __ in self.losses})
+        c_values = sorted({c for __, c in self.losses})
+        grid = np.empty((len(c_values), len(q_values)))
+        for i, c in enumerate(c_values):
+            for j, q in enumerate(q_values):
+                grid[i, j] = self.losses[(q, c)]
+        return grid
+
+    def format_table(self) -> str:
+        q_values = sorted({q for q, __ in self.losses})
+        c_values = sorted({c for __, c in self.losses})
+        rows = []
+        for c in c_values:
+            rows.append([f"c={c:g}"] + [self.losses[(q, c)] for q in q_values])
+        table = format_table(
+            ["Classical \\ Quantum"] + [f"q={q:g}" for q in q_values],
+            rows,
+            title="Fig. 7: SQ-AE train loss over learning-rate combinations",
+        )
+        best_q, best_c = self.best_combination()
+        return (
+            f"{table}\nbest: quantum lr {best_q:g}, classical lr {best_c:g} "
+            f"(paper: quantum {PAPER_BEST_LRS['quantum']}, "
+            f"classical {PAPER_BEST_LRS['classical']})"
+        )
+
+
+def run_fig7(config: Fig7Config | None = None) -> Fig7Result:
+    """Train one SQ-AE per learning-rate pair; record final train loss."""
+    config = config if config is not None else Fig7Config.from_scale()
+    dataset = load_pdbbind_ligands(n_samples=config.n_ligands, seed=config.seed)
+    result = Fig7Result()
+    for quantum_lr in config.quantum_lrs:
+        for classical_lr in config.classical_lrs:
+            model = ScalableQuantumAE(
+                input_dim=1024, n_patches=config.n_patches,
+                n_layers=config.n_layers,
+                rng=np.random.default_rng(config.seed),
+            )
+            trainer = Trainer(
+                model,
+                TrainConfig(epochs=config.epochs, batch_size=config.batch_size,
+                            quantum_lr=quantum_lr, classical_lr=classical_lr,
+                            seed=config.seed),
+            )
+            history = trainer.fit(dataset)
+            result.losses[(quantum_lr, classical_lr)] = history.final_train_loss
+    return result

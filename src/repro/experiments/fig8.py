@@ -1,0 +1,166 @@
+"""Fig. 8 — scalable quantum autoencoders at scale, plus CIFAR visuals.
+
+* (a) final train MSE on PDBbind vs latent dimension: classical VAE at LSD
+  {16, 32, 64, 128} against SQ-VAE / SQ-AE at the patched LSDs
+  {18, 32, 56, 96} (p = 2/4/8/16);
+* (b) train-loss curves on grayscale CIFAR-10 for SQ-VAE / CVAE / SQ-AE /
+  CAE at LSD 18 (p = 2), where the paper reports rough parity;
+* (c) qualitative CIFAR reconstructions from the classical AE and SQ-AE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import load_cifar_gray, load_pdbbind_ligands, train_test_split
+from ..evaluation.reconstruction import reconstruct_samples
+from ..evaluation.visualize import ascii_image, side_by_side
+from ..models import (
+    ClassicalAE,
+    ClassicalVAE,
+    ScalableQuantumAE,
+    ScalableQuantumVAE,
+)
+from ..training import TrainConfig, Trainer
+from .config import Scale, get_scale
+from .tables import format_series, format_table
+
+__all__ = ["Fig8Config", "Fig8Result", "run_fig8"]
+
+_SQ_LSDS = {18: 2, 32: 4, 56: 8, 96: 16}
+_VAE_LSDS = (16, 32, 64, 128)
+
+
+@dataclass
+class Fig8Config:
+    n_ligands: int = 96
+    n_images: int = 64
+    epochs: int = 4
+    sq_layers: int = 5
+    cifar_patches: int = 2  # LSD 18
+    batch_size: int = 32
+    seed: int = 0
+    render_samples: int = 3
+    # Panel (a) sweeps; the defaults are the paper's tick marks.
+    sq_lsds: tuple[int, ...] = (18, 32, 56, 96)
+    vae_lsds: tuple[int, ...] = _VAE_LSDS
+
+    @classmethod
+    def from_scale(cls, scale: Scale | None = None, seed: int = 0) -> "Fig8Config":
+        scale = scale if scale is not None else get_scale()
+        return cls(
+            n_ligands=scale.pdbbind_samples,
+            n_images=scale.cifar_samples,
+            epochs=scale.epochs,
+            sq_layers=scale.sq_layers,
+            batch_size=scale.batch_size,
+            seed=seed,
+        )
+
+
+@dataclass
+class Fig8Result:
+    # Panel (a): {model: {lsd: final train loss}}.
+    lsd_losses: dict[str, dict[int, float]] = field(default_factory=dict)
+    # Panel (b): {model: per-epoch train loss}.
+    cifar_curves: dict[str, list[float]] = field(default_factory=dict)
+    cifar_panel: str = ""
+
+    def sq_ae_beats_sq_vae(self) -> bool:
+        """Vanilla reconstructs better than variational (extra latent noise)."""
+        sq_ae = self.lsd_losses["SQ-AE"]
+        sq_vae = self.lsd_losses["SQ-VAE"]
+        common = set(sq_ae) & set(sq_vae)
+        wins = sum(1 for lsd in common if sq_ae[lsd] < sq_vae[lsd])
+        return wins >= len(common) / 2
+
+    def format_table(self) -> str:
+        lines = []
+        rows = []
+        for model, losses in self.lsd_losses.items():
+            for lsd, loss in sorted(losses.items()):
+                rows.append([model, lsd, loss])
+        lines.append(
+            format_table(
+                ["Model", "LSD", "Final train MSE"], rows,
+                title="Fig. 8(a): train loss vs latent dimension (PDBbind)",
+            )
+        )
+        lines.append("Fig. 8(b): train MSE per epoch (grayscale CIFAR-10)")
+        for name, curve in self.cifar_curves.items():
+            lines.append("  " + format_series(name, curve))
+        return "\n".join(lines)
+
+
+def run_fig8(config: Fig8Config | None = None) -> Fig8Result:
+    """Run the LSD sweep, the CIFAR curve comparison, and the render panel."""
+    config = config if config is not None else Fig8Config.from_scale()
+    result = Fig8Result()
+    pdbbind = load_pdbbind_ligands(n_samples=config.n_ligands, seed=config.seed)
+    train, __ = train_test_split(pdbbind, test_fraction=0.15, seed=config.seed)
+
+    def fit(model) -> list[float]:
+        trainer = Trainer(
+            model,
+            TrainConfig.paper_sq(epochs=config.epochs, seed=config.seed),
+        )
+        history = trainer.fit(train)
+        return [r.train_reconstruction for r in history.epochs]
+
+    # Panel (a): VAE at the paper's tick LSDs; SQ models at patched LSDs.
+    result.lsd_losses = {"VAE": {}, "SQ-VAE": {}, "SQ-AE": {}}
+    for lsd in config.vae_lsds:
+        model = ClassicalVAE(input_dim=1024, latent_dim=lsd,
+                             rng=np.random.default_rng(config.seed + lsd),
+                             noise_seed=config.seed)
+        result.lsd_losses["VAE"][lsd] = fit(model)[-1]
+    for lsd, patches in ((l, _SQ_LSDS[l]) for l in config.sq_lsds):
+        rng = np.random.default_rng(config.seed + lsd)
+        sq_vae = ScalableQuantumVAE(input_dim=1024, n_patches=patches,
+                                    n_layers=config.sq_layers, rng=rng,
+                                    noise_seed=config.seed)
+        result.lsd_losses["SQ-VAE"][lsd] = fit(sq_vae)[-1]
+        sq_ae = ScalableQuantumAE(input_dim=1024, n_patches=patches,
+                                  n_layers=config.sq_layers,
+                                  rng=np.random.default_rng(config.seed + lsd))
+        result.lsd_losses["SQ-AE"][lsd] = fit(sq_ae)[-1]
+
+    # Panel (b): CIFAR-10 curves at LSD 18.
+    cifar = load_cifar_gray(n_samples=config.n_images, seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+    cifar_models = {
+        "SQ-VAE": ScalableQuantumVAE(input_dim=1024,
+                                     n_patches=config.cifar_patches,
+                                     n_layers=config.sq_layers, rng=rng,
+                                     noise_seed=config.seed),
+        "CVAE": ClassicalVAE(input_dim=1024, latent_dim=18, rng=rng,
+                             noise_seed=config.seed),
+        "SQ-AE": ScalableQuantumAE(input_dim=1024,
+                                   n_patches=config.cifar_patches,
+                                   n_layers=config.sq_layers, rng=rng),
+        "CAE": ClassicalAE(input_dim=1024, latent_dim=18, rng=rng),
+    }
+    for name, model in cifar_models.items():
+        trainer = Trainer(
+            model, TrainConfig.paper_sq(epochs=config.epochs, seed=config.seed)
+        )
+        history = trainer.fit(cifar)
+        result.cifar_curves[name] = [r.train_reconstruction for r in history.epochs]
+
+    # Panel (c): input / CAE / SQ-AE reconstructions.
+    originals, cae_recons = reconstruct_samples(
+        cifar_models["CAE"], cifar, n_samples=config.render_samples,
+        seed=config.seed,
+    )
+    sq_recons = cifar_models["SQ-AE"].reconstruct(originals)
+    result.cifar_panel = side_by_side(
+        [
+            "\n\n".join(ascii_image(img) for img in originals),
+            "\n\n".join(ascii_image(img) for img in cae_recons),
+            "\n\n".join(ascii_image(img) for img in sq_recons),
+        ],
+        titles=["Input images", "Classical AE recon", "SQ-AE recon"],
+    )
+    return result

@@ -1,0 +1,103 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.run table1
+    python -m repro.experiments.run fig6 --seed 3
+    REPRO_FULL=1 python -m repro.experiments.run table2
+
+Prints the same rows/series the paper's table or figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table2,
+    get_scale,
+)
+from .fig4 import Fig4Config
+from .fig5 import Fig5Config
+from .fig6 import Fig6Config
+from .fig7 import Fig7Config
+from .fig8 import Fig8Config
+from .table2 import Table2Config
+
+__all__ = ["main"]
+
+
+def _run_table1(seed: int):
+    return run_table1(seed=seed)
+
+
+def _run_table2(seed: int):
+    return run_table2(Table2Config.from_scale(seed=seed))
+
+
+def _run_fig4(seed: int):
+    return run_fig4(Fig4Config.from_scale(seed=seed))
+
+
+def _run_fig5(seed: int):
+    return run_fig5(Fig5Config.from_scale(seed=seed))
+
+
+def _run_fig6(seed: int):
+    return run_fig6(Fig6Config.from_scale(seed=seed))
+
+
+def _run_fig7(seed: int):
+    return run_fig7(Fig7Config.from_scale(seed=seed))
+
+
+def _run_fig8(seed: int):
+    return run_fig8(Fig8Config.from_scale(seed=seed))
+
+
+EXPERIMENTS = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run",
+        description="Reproduce one table/figure from the paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    scale = get_scale()
+    print(f"scale: {scale.name} (set REPRO_FULL=1 for paper-scale runs)")
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](args.seed)
+        elapsed = time.time() - start
+        print(f"\n=== {name} ({elapsed:.1f}s) ===")
+        print(result.format_table())
+        for attr in ("digit_panel", "molecule_panel", "cifar_panel"):
+            panel = getattr(result, attr, "")
+            if panel:
+                print(f"\n--- {attr} ---\n{panel}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

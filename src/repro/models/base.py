@@ -1,0 +1,154 @@
+"""Common autoencoder interface shared by classical and quantum variants.
+
+Every model implements ``encode`` / ``decode`` / ``forward`` and reports its
+latent dimension; variational models additionally support :meth:`sample`
+(decode Gaussian prior noise — the red path in the paper's Fig. 2a).
+Vanilla AEs deliberately raise on ``sample``: *"AEs support more accurate
+reconstruction for the lack of latent variables but do not support sampling
+new ligand molecules"* (Section I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["AutoencoderOutput", "Autoencoder", "VariationalMixin"]
+
+
+@dataclass
+class AutoencoderOutput:
+    """Everything a forward pass produces (mu/logvar are None for AEs)."""
+
+    reconstruction: Tensor
+    latent: Tensor
+    mu: Tensor | None = None
+    logvar: Tensor | None = None
+
+
+class Autoencoder(Module):
+    """Base class: deterministic encode -> decode."""
+
+    is_variational = False
+
+    def __init__(self, input_dim: int, latent_dim: int):
+        super().__init__()
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+
+    # -- to be implemented by subclasses --------------------------------
+    def encode(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def decode(self, z: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    # -- shared behaviour ------------------------------------------------
+    def forward(self, x: Tensor) -> AutoencoderOutput:
+        z = self.encode(x)
+        return AutoencoderOutput(reconstruction=self.decode(z), latent=z)
+
+    def reconstruct(self, features: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out reconstruction without gradient tracking."""
+        with no_grad():
+            output = self.forward(Tensor(np.atleast_2d(features)))
+        return output.reconstruction.data
+
+    def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        raise TypeError(
+            f"{type(self).__name__} is a vanilla autoencoder; only the "
+            "variational models support prior sampling (Section I)"
+        )
+
+    def output_bias(self):
+        """The final output layer's bias parameter, or None if there is none.
+
+        Overridden by models ending in a classical affine layer; the fully
+        quantum variants return None (their outputs are probabilities).
+        """
+        return None
+
+    def init_output_bias(self, mean: np.ndarray) -> bool:
+        """Warm-start the output bias at the training-data mean.
+
+        A standard autoencoder initialization: the decoder then starts from
+        the data centroid instead of zero, which makes short-budget sampling
+        runs (Table II at the fast scale) produce non-empty molecules.
+        Returns False when the model has no classical output bias.
+        """
+        bias = self.output_bias()
+        if bias is None:
+            return False
+        mean = np.asarray(mean, dtype=np.float64)
+        if mean.shape != bias.data.shape:
+            raise ValueError(
+                f"mean shape {mean.shape} != bias shape {bias.data.shape}"
+            )
+        bias.data = mean.copy()
+        return True
+
+    def parameter_count_by_group(self) -> dict[str, int]:
+        """Trainable scalar counts split quantum/classical (Table I rows)."""
+        counts = {"quantum": 0, "classical": 0}
+        for param in self.parameters():
+            group = getattr(param, "group", "classical")
+            counts[group if group in counts else "classical"] += param.size
+        counts["total"] = counts["quantum"] + counts["classical"]
+        return counts
+
+
+class VariationalMixin:
+    """Adds reparameterized sampling to an autoencoder.
+
+    Subclasses must define ``encode_distribution(x) -> (mu, logvar)`` and
+    may rely on ``reparameterize`` and the shared ``sample``.  The log
+    variance is clamped to ``LOGVAR_RANGE`` before use — on original-scale
+    data an untrained head can emit values whose ``exp`` overflows the
+    reconstruction loss (a standard VAE stabilization).
+    """
+
+    is_variational = True
+    LOGVAR_RANGE = (-8.0, 8.0)
+
+    def _noise_rng(self) -> np.random.Generator:
+        rng = getattr(self, "_rng", None)
+        if rng is None:
+            rng = np.random.default_rng(0)
+            self._rng = rng
+        return rng
+
+    def seed_noise(self, seed: int) -> None:
+        """Reset the reparameterization noise stream (for reproducibility)."""
+        self._rng = np.random.default_rng(seed)
+
+    def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        raise NotImplementedError
+
+    def reparameterize(self, mu: Tensor, logvar: Tensor) -> Tensor:
+        """z = mu + sigma * eps with eps ~ N(0, I) from the seeded stream."""
+        eps = self._noise_rng().normal(size=mu.shape)
+        return mu + (logvar * 0.5).exp() * Tensor(eps)
+
+    def forward(self, x: Tensor) -> AutoencoderOutput:
+        mu, logvar = self.encode_distribution(x)
+        logvar = logvar.clip(*self.LOGVAR_RANGE)
+        z = self.reparameterize(mu, logvar)
+        return AutoencoderOutput(
+            reconstruction=self.decode(z), latent=z, mu=mu, logvar=logvar
+        )
+
+    def encode(self, x: Tensor) -> Tensor:
+        """Deterministic encoding = posterior mean."""
+        mu, __ = self.encode_distribution(x)
+        return mu
+
+    def sample(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Decode ``n_samples`` draws from the N(0, I) prior."""
+        z = rng.normal(size=(n_samples, self.latent_dim))
+        with no_grad():
+            decoded = self.decode(Tensor(z))
+        return decoded.data

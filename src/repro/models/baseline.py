@@ -1,0 +1,139 @@
+"""Baseline quantum autoencoders (Section III-B): F-BQ and H-BQ variants.
+
+Architecture (for ``input_dim = 2**n`` features, latent = n qubits):
+
+* encoder — amplitude embedding of the input, L strongly entangling layers,
+  per-qubit Pauli-Z expectations (the latent vector);
+* decoder — angle embedding of the latent, L strongly entangling layers,
+  basis-state probabilities (the ``2**n``-dim reconstruction).
+
+The fully quantum variants (F-BQ) stop there, so their reconstructions are
+probability vectors — they can only fit *normalized* data (Fig. 4).  The
+hybrid variants (H-BQ) append a final Linear(input, input) classical layer
+mapping probabilities back to original scale, plus a Linear(latent, latent)
+latent map; VAEs add Linear(latent, latent) mu / logvar heads.  With L = 3
+and 64 features this reproduces Table I's parameter counts exactly
+(quantum 108; classical 0 / 84 / 4202 / 4286).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Linear
+from ..nn.tensor import Tensor
+from ..qnn.circuits import amplitude_encoder_circuit, probs_decoder_circuit
+from ..qnn.qlayer import QuantumLayer
+from .base import Autoencoder, VariationalMixin
+
+__all__ = ["FullyQuantumAE", "FullyQuantumVAE", "HybridQuantumAE", "HybridQuantumVAE"]
+
+
+def _n_wires_for(input_dim: int) -> int:
+    n = int(input_dim).bit_length() - 1
+    if 2**n != input_dim:
+        raise ValueError(
+            f"baseline quantum autoencoders need a power-of-two input "
+            f"dimension, got {input_dim}"
+        )
+    return n
+
+
+class FullyQuantumAE(Autoencoder):
+    """F-BQ-AE: quantum encoder + quantum decoder, zero classical weights."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        n_layers: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
+        n_wires = _n_wires_for(input_dim)
+        super().__init__(input_dim, latent_dim=n_wires)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.n_layers = n_layers
+        self.encoder_q = QuantumLayer(
+            amplitude_encoder_circuit(n_wires, input_dim, n_layers), rng=rng
+        )
+        self.decoder_q = QuantumLayer(probs_decoder_circuit(n_wires, n_layers), rng=rng)
+
+    def encode(self, x: Tensor) -> Tensor:
+        return self.encoder_q(x)
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.decoder_q(z)
+
+
+class FullyQuantumVAE(VariationalMixin, FullyQuantumAE):
+    """F-BQ-VAE: adds classical mu / logvar heads (2 x Linear(n, n) = 84 @ n=6)."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        n_layers: int = 3,
+        rng: np.random.Generator | None = None,
+        noise_seed: int = 0,
+    ):
+        FullyQuantumAE.__init__(self, input_dim, n_layers, rng)
+        rng = rng if rng is not None else np.random.default_rng(1)
+        self.mu_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.logvar_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.seed_noise(noise_seed)
+
+    def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        hidden = self.encoder_q(x)
+        return self.mu_head(hidden), self.logvar_head(hidden)
+
+
+class HybridQuantumAE(Autoencoder):
+    """H-BQ-AE: F-BQ-AE + latent map + final FC to original feature scale."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        n_layers: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
+        n_wires = _n_wires_for(input_dim)
+        super().__init__(input_dim, latent_dim=n_wires)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.n_layers = n_layers
+        self.encoder_q = QuantumLayer(
+            amplitude_encoder_circuit(n_wires, input_dim, n_layers), rng=rng
+        )
+        self.decoder_q = QuantumLayer(probs_decoder_circuit(n_wires, n_layers), rng=rng)
+        self.latent_map = Linear(n_wires, n_wires, rng=rng)
+        self.output_map = Linear(input_dim, input_dim, rng=rng)
+
+    def encode(self, x: Tensor) -> Tensor:
+        return self.latent_map(self.encoder_q(x))
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.output_map(self.decoder_q(z))
+
+    def output_bias(self):
+        return self.output_map.bias
+
+
+class HybridQuantumVAE(VariationalMixin, HybridQuantumAE):
+    """H-BQ-VAE: mu/logvar heads + latent-to-decoder map + final FC."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        n_layers: int = 3,
+        rng: np.random.Generator | None = None,
+        noise_seed: int = 0,
+    ):
+        HybridQuantumAE.__init__(self, input_dim, n_layers, rng)
+        rng = rng if rng is not None else np.random.default_rng(1)
+        self.mu_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.logvar_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.seed_noise(noise_seed)
+
+    def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        hidden = self.encoder_q(x)
+        return self.mu_head(hidden), self.logvar_head(hidden)
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.output_map(self.decoder_q(self.latent_map(z)))

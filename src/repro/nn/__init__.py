@@ -1,0 +1,55 @@
+"""Minimal PyTorch-like neural-network substrate (autodiff, modules, optim).
+
+Public surface::
+
+    from repro.nn import Tensor, Linear, Sequential, ReLU, Adam
+    from repro.nn import functional as F
+"""
+
+from . import functional
+from . import init
+from .modules import (
+    Identity,
+    Lambda,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam, Optimizer, heterogeneous_adam
+from .serialization import load_module, module_fingerprint, save_module
+from .schedulers import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Lambda",
+    "Sequential",
+    "ModuleList",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "heterogeneous_adam",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "save_module",
+    "load_module",
+    "module_fingerprint",
+    "functional",
+    "init",
+]

@@ -1,0 +1,48 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+every experiment in the reproduction is seeded end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "uniform", "normal", "zeros"]
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init suited to ReLU networks: U(-a, a), a = sqrt(6/fan_in)."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, low: float, high: float) -> np.ndarray:
+    """Plain uniform init over [low, high)."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 1.0) -> np.ndarray:
+    """Zero-mean Gaussian init with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple, rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros init (used for biases)."""
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

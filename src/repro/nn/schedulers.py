@@ -1,0 +1,82 @@
+"""Learning-rate schedulers.
+
+Section III-C: "the small-scale of quantum parameters may require a
+different quantum learning rate *schedule* from classical one".  The paper
+settles on fixed heterogeneous rates (Fig. 7); these schedulers make the
+schedule variant explorable too.  Each one wraps an optimizer and rescales
+every parameter group's learning rate relative to its initial value, so
+heterogeneous groups keep their ratio.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base class: tracks initial group lrs and an epoch counter."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_epoch = 0
+
+    def get_factor(self, epoch: int) -> float:
+        """Multiplier applied to every group's base lr at ``epoch``."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rates."""
+        self.last_epoch += 1
+        factor = self.get_factor(self.last_epoch)
+        for group, base in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = base * factor
+
+    def current_lrs(self) -> list[float]:
+        return [group["lr"] for group in self.optimizer.param_groups]
+
+
+class StepLR(LRScheduler):
+    """Decay by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be positive")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_factor(self, epoch: int) -> float:
+        return self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Decay by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_factor(self, epoch: int) -> float:
+        return self.gamma**epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``eta_min_factor * base`` over T_max."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min_factor: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be positive")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min_factor = eta_min_factor
+
+    def get_factor(self, epoch: int) -> float:
+        epoch = min(epoch, self.t_max)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * epoch / self.t_max))
+        return self.eta_min_factor + (1.0 - self.eta_min_factor) * cosine

@@ -1,0 +1,73 @@
+"""Model checkpointing to ``.npz`` archives.
+
+``save_module`` stores every named parameter of a module (plus optional
+metadata) in a single compressed numpy archive; ``load_module`` restores
+them into a freshly constructed module of the same architecture.  This is
+the reproduction's checkpoint format — no pickle, so checkpoints are
+portable and safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_module", "load_module", "module_fingerprint"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None
+                ) -> Path:
+    """Write all parameters (and JSON-serializable metadata) to ``path``.
+
+    The ``.npz`` suffix is appended if missing.  Returns the final path.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays = {name: param.data for name, param in module.named_parameters()}
+    if _META_KEY in arrays:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    meta = dict(metadata or {})
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_module(module: Module, path: str | Path) -> dict:
+    """Restore parameters saved by :func:`save_module`; returns the metadata.
+
+    The module must already have the same architecture (same parameter
+    names and shapes) — construct it first, then load.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        else:
+            metadata = {}
+    module.load_state_dict(state)
+    return metadata
+
+
+def module_fingerprint(module: Module) -> str:
+    """Short content hash of all parameters (change detection in tests)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name, param in sorted(module.named_parameters()):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.hexdigest()[:16]

@@ -1,0 +1,527 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the substrate that replaces PyTorch's autograd for the
+reproduction.  A :class:`Tensor` wraps a ``float64`` numpy array together with
+an optional gradient buffer and a backward closure.  Calling
+:meth:`Tensor.backward` on a scalar result propagates gradients to every leaf
+tensor created with ``requires_grad=True``.
+
+Design notes
+------------
+* Gradients follow numpy broadcasting: every op records how its inputs were
+  broadcast and :func:`_unbroadcast` sums the upstream gradient back down to
+  the original shape.
+* The graph is dynamic (define-by-run) and torn down after ``backward`` unless
+  ``retain_graph=True`` is passed.
+* Only float64 is supported; this keeps quantum-gradient cross-checks against
+  the parameter-shift rule exact to machine precision.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager disabling gradient tracking (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GRAD_ENABLED[0] = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new ops will be recorded on the autodiff tape."""
+    return _GRAD_ENABLED[0]
+
+
+def _as_array(value) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` reversing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for reverse-mode AD."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
+        return Tensor(array, requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad=None, retain_graph: bool = False) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to 1 for scalar tensors.
+        retain_graph:
+            Keep backward closures alive so ``backward`` can run again.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        # Intermediate (non-leaf) gradients are not retained across backward
+        # passes — mirror torch semantics so retain_graph reruns are correct.
+        for node in order:
+            if node._backward is not None:
+                node.grad = None
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+        if not retain_graph:
+            for node in order:
+                node._backward = None
+                node._prev = ()
+
+    # ------------------------------------------------------------------
+    # Internal op constructor
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[["Tensor"], None] | None,
+    ) -> "Tensor":
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = requires
+        if requires and backward is not None:
+            out._prev = tuple(p for p in parents if p.requires_grad)
+
+            def _run() -> None:
+                backward(out)
+
+            out._backward = _run
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-out.grad, other.shape))
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-out.grad * self.data / other.data**2, other.shape)
+                )
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** only supports scalar exponents")
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            a, b = self.data, other.data
+            if self.requires_grad:
+                if b.ndim == 1:
+                    ga = np.outer(grad, b) if a.ndim == 2 else grad * b
+                    if a.ndim == 1:
+                        ga = grad * b  # scalar grad times vector
+                else:
+                    gb_t = np.swapaxes(b, -1, -2)
+                    if a.ndim == 1:
+                        ga = grad @ gb_t
+                    else:
+                        ga = grad @ gb_t
+                        ga = _unbroadcast(ga, a.shape)
+                self._accumulate(ga.reshape(a.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    if b.ndim == 1:
+                        gb = grad * a
+                    else:
+                        gb = np.outer(a, grad)
+                else:
+                    at = np.swapaxes(a, -1, -2)
+                    if b.ndim == 1:
+                        gb = at @ grad
+                    else:
+                        gb = at @ grad
+                        gb = _unbroadcast(gb, b.shape)
+                other._accumulate(gb.reshape(b.shape))
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        value = np.sqrt(self.data)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * 0.5 / value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * value * (1.0 - value))
+
+        return Tensor._make(value, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - value**2))
+
+        return Tensor._make(value, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = [
+                    1 if i in axes else dim for i, dim in enumerate(self.data.shape)
+                ]
+                grad = grad.reshape(shape)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        value = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(out: Tensor) -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            full = self.data.max(axis=axis, keepdims=True)
+            mask = self.data == full
+            counts = mask.sum(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = [
+                    1 if i in axes else dim for i, dim in enumerate(self.data.shape)
+                ]
+                grad = grad.reshape(shape)
+            self._accumulate(np.broadcast_to(grad, self.data.shape) * mask / counts)
+
+        return Tensor._make(value, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.data.shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, key, out.grad)
+                self._accumulate(grad)
+
+        return Tensor._make(self.data[key], (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        datas = [t.data for t in tensors]
+        sizes = [d.shape[axis] for d in datas]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(out: Tensor) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * out.grad.ndim
+                    index[axis] = slice(start, stop)
+                    tensor._accumulate(out.grad[tuple(index)])
+
+        return Tensor._make(np.concatenate(datas, axis=axis), tensors, backward)
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+
+        def backward(out: Tensor) -> None:
+            grads = np.moveaxis(out.grad, axis, 0)
+            for tensor, grad in zip(tensors, grads):
+                if tensor.requires_grad:
+                    tensor._accumulate(grad)
+
+        return Tensor._make(
+            np.stack([t.data for t in tensors], axis=axis), tensors, backward
+        )
+
+    # ------------------------------------------------------------------
+    # Comparisons (no gradient; returned as plain numpy arrays)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other

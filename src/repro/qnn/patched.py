@@ -1,0 +1,103 @@
+"""Patched quantum circuits — the paper's key scaling contribution.
+
+Section III-C: *"we partition the entire feature vector into multiple
+equal-sized sub-vectors, and each sub-vector is fed into a quantum
+sub-circuit"*.  Compared with the patch-GAN of Huang et al. (which feeds all
+features to every sub-circuit), this uses fewer qubits per patch and widens
+the output: with ``p`` patches over 1024 features each patch amplitude-embeds
+``1024/p`` features into ``log2(1024/p)`` qubits, and the concatenated
+per-qubit expectations give a latent space of ``p * log2(1024/p)`` dimensions
+(18/32/56/96 for p = 2/4/8/16 — Section IV-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Module, ModuleList
+from ..nn.tensor import Tensor
+from ..quantum.circuit import Circuit
+from .qlayer import QuantumLayer
+
+__all__ = ["PatchedQuantumLayer", "patched_latent_dim", "patch_qubits"]
+
+
+def patch_qubits(n_features: int, n_patches: int) -> int:
+    """Qubits per patch for amplitude-embedded patches: log2(features/p)."""
+    if n_features % n_patches:
+        raise ValueError(
+            f"{n_features} features do not split into {n_patches} equal patches"
+        )
+    per_patch = n_features // n_patches
+    n_qubits = int(per_patch).bit_length() - 1
+    if 2**n_qubits != per_patch:
+        raise ValueError(f"patch size {per_patch} is not a power of two")
+    return n_qubits
+
+
+def patched_latent_dim(n_features: int, n_patches: int) -> int:
+    """Latent dimension of a patched amplitude encoder: p * log2(features/p)."""
+    return n_patches * patch_qubits(n_features, n_patches)
+
+
+class PatchedQuantumLayer(Module):
+    """Split features across ``p`` independent sub-circuits, concat outputs.
+
+    Parameters
+    ----------
+    circuit_factory:
+        Called once per patch as ``circuit_factory(patch_index)`` and must
+        return a built :class:`~repro.quantum.circuit.Circuit`.  All patches
+        must consume the same number of inputs.
+    n_patches:
+        Number of sub-circuits ``p``.
+    rng:
+        Seeded generator; each patch gets independently initialized weights.
+    """
+
+    def __init__(
+        self,
+        circuit_factory,
+        n_patches: int,
+        rng: np.random.Generator | None = None,
+        init_scale: float = np.pi,
+    ):
+        super().__init__()
+        if n_patches < 1:
+            raise ValueError("need at least one patch")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.n_patches = n_patches
+        self.patches = ModuleList(
+            QuantumLayer(circuit_factory(i), rng=rng, init_scale=init_scale)
+            for i in range(n_patches)
+        )
+        in_dims = {patch.circuit.n_inputs for patch in self.patches}
+        if len(in_dims) != 1:
+            raise ValueError(f"patches disagree on input dim: {sorted(in_dims)}")
+        self.inputs_per_patch = in_dims.pop()
+        self.output_dim = sum(patch.output_dim for patch in self.patches)
+
+    @property
+    def input_dim(self) -> int:
+        return self.inputs_per_patch * self.n_patches
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(batch, p * inputs_per_patch)`` to concatenated patch outputs."""
+        if x.shape[-1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim} features "
+                f"({self.n_patches} patches x {self.inputs_per_patch}), "
+                f"got {x.shape[-1]}"
+            )
+        outputs = []
+        for index, patch in enumerate(self.patches):
+            start = index * self.inputs_per_patch
+            chunk = x[:, start : start + self.inputs_per_patch]
+            outputs.append(patch(chunk))
+        return Tensor.concatenate(outputs, axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"PatchedQuantumLayer(patches={self.n_patches}, "
+            f"in={self.input_dim}, out={self.output_dim})"
+        )

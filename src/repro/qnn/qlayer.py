@@ -1,0 +1,100 @@
+"""Hybrid bridge: quantum circuits as differentiable ``repro.nn`` modules.
+
+:class:`QuantumLayer` owns the circuit's trainable rotation angles as a
+``Parameter`` tagged ``group='quantum'`` (so the optimizer can apply the
+paper's heterogeneous learning rates) and splices the simulator's exact
+vector-Jacobian product into the autodiff tape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Module, Parameter
+from ..nn.tensor import Tensor, is_grad_enabled
+from ..quantum.autodiff import backward as q_backward
+from ..quantum.autodiff import execute as q_execute
+from ..quantum.circuit import Circuit
+
+__all__ = ["QuantumLayer"]
+
+
+class QuantumLayer(Module):
+    """Execute a parameterized circuit as one layer of a hybrid network.
+
+    Parameters
+    ----------
+    circuit:
+        A built circuit template (with a measurement).  The layer allocates
+        one flat weight vector matching ``circuit.n_weights``.
+    rng:
+        Seeded generator for weight initialization.
+    init_scale:
+        Weights are drawn uniformly from ``[-init_scale, init_scale]``.
+        Defaults to pi, covering the full rotation-angle range the paper
+        discusses ("quantum parameters fall in the range [-pi, pi]").
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        rng: np.random.Generator | None = None,
+        init_scale: float = np.pi,
+    ):
+        super().__init__()
+        if circuit.measurement is None:
+            raise ValueError("QuantumLayer requires a measured circuit")
+        self.circuit = circuit
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weights = Parameter(
+            rng.uniform(-init_scale, init_scale, size=circuit.n_weights),
+            group="quantum",
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self.circuit.output_dim
+
+    def forward(self, x: Tensor | None = None) -> Tensor:
+        """Run the circuit on a ``(batch, n_inputs)`` tensor (or no input).
+
+        Returns a ``(batch, output_dim)`` tensor wired into the autodiff
+        graph: backward computes exact gradients for both the rotation
+        weights and (when the circuit embeds inputs) the input features.
+        """
+        inputs = None if x is None else np.asarray(x.data, dtype=np.float64)
+        track = is_grad_enabled() and (
+            self.weights.requires_grad or (x is not None and x.requires_grad)
+        )
+        outputs, cache = q_execute(
+            self.circuit, inputs, self.weights.data, want_cache=track
+        )
+        out = Tensor(outputs)
+        if not track:
+            return out
+
+        out.requires_grad = True
+        parents = [self.weights]
+        if x is not None and x.requires_grad:
+            parents.append(x)
+        out._prev = tuple(parents)
+        weights_param = self.weights
+        circuit = self.circuit
+
+        def _backward() -> None:
+            grad_inputs, grad_weights = q_backward(cache, out.grad)
+            if weights_param.requires_grad:
+                weights_param._accumulate(grad_weights)
+            if x is not None and x.requires_grad and grad_inputs is not None:
+                if x.data.shape[1] > circuit.n_inputs:
+                    full = np.zeros_like(x.data)
+                    full[:, : circuit.n_inputs] = grad_inputs
+                    x._accumulate(full)
+                else:
+                    x._accumulate(grad_inputs)
+
+        out._backward = _backward
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"QuantumLayer({self.circuit!r})"

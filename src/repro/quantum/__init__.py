@@ -1,0 +1,71 @@
+"""Batched statevector quantum-circuit simulator with exact gradients.
+
+This package replaces PennyLane for the reproduction.  Public surface::
+
+    from repro.quantum import Circuit, execute, backward
+    circuit = (Circuit(n_wires=6)
+               .amplitude_embedding(64)
+               .strongly_entangling_layers(3)
+               .measure_expval())
+    outputs, cache = execute(circuit, inputs, weights)
+    grad_in, grad_w = backward(cache, grad_outputs)
+"""
+
+from . import gates
+from .autodiff import ExecutionCache, backward, execute, prepare_amplitude_state
+from .circuit import Circuit, Operation, sel_weight_count
+from .drawer import draw
+from .noise import NoiseModel, noisy_execute
+from .observables import (
+    pauli_string_expval,
+    pauli_string_variance,
+    rotate_to_z_basis,
+)
+from .sampling import (
+    estimate_expval_z,
+    estimate_probabilities,
+    sample_basis_states,
+    shot_noise_std,
+)
+from .shift import parameter_shift_gradients, parameter_shift_jacobian
+from .state import (
+    apply_gate,
+    basis_state,
+    expval_z,
+    marginal_probabilities,
+    num_wires,
+    probabilities,
+    z_signs,
+    zero_state,
+)
+
+__all__ = [
+    "gates",
+    "Circuit",
+    "Operation",
+    "sel_weight_count",
+    "execute",
+    "backward",
+    "ExecutionCache",
+    "prepare_amplitude_state",
+    "parameter_shift_gradients",
+    "parameter_shift_jacobian",
+    "apply_gate",
+    "basis_state",
+    "expval_z",
+    "marginal_probabilities",
+    "num_wires",
+    "probabilities",
+    "zero_state",
+    "z_signs",
+    "draw",
+    "NoiseModel",
+    "noisy_execute",
+    "sample_basis_states",
+    "estimate_expval_z",
+    "estimate_probabilities",
+    "shot_noise_std",
+    "pauli_string_expval",
+    "pauli_string_variance",
+    "rotate_to_z_basis",
+]

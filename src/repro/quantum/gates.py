@@ -1,0 +1,138 @@
+"""Quantum gate matrices and their generators.
+
+Conventions follow PennyLane (the paper's simulation platform):
+
+* ``RX/RY/RZ(theta) = exp(-i * theta / 2 * P)`` for Pauli ``P``.
+* ``Rot(phi, theta, omega) = RZ(omega) @ RY(theta) @ RZ(phi)`` — the
+  three-parameter rotation the paper places on every qubit of each strongly
+  entangling layer.
+* ``CRZ(theta)`` applies ``RZ(theta)`` on the target conditioned on the
+  control (listed in the paper's Fig. 3 gate table).
+
+Each parameterized gate exposes its *generator* ``G`` such that
+``dU/dtheta = -i/2 * G @ U(theta)``; the exact backward pass in
+:mod:`repro.quantum.autodiff` uses this identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "I2",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "rx",
+    "ry",
+    "rz",
+    "rot",
+    "crz",
+    "generator",
+    "PARAMETRIC_GATES",
+    "FIXED_GATES",
+]
+
+I2 = np.eye(2, dtype=np.complex128)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=np.complex128
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=np.complex128
+)
+
+# Generator of CRZ: |1><1| (x) Z, eigenvalues {0, 0, +1, -1}.
+_CRZ_GENERATOR = np.diag([0, 0, 1, -1]).astype(np.complex128)
+
+
+def rx(theta) -> np.ndarray:
+    """Rotation about X.  ``theta`` may be a scalar or a batch vector."""
+    theta = np.asarray(theta, dtype=np.float64)
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return _assemble_2x2(c, -1j * s, -1j * s, c)
+
+
+def ry(theta) -> np.ndarray:
+    """Rotation about Y."""
+    theta = np.asarray(theta, dtype=np.float64)
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return _assemble_2x2(c, -s, s, c)
+
+
+def rz(theta) -> np.ndarray:
+    """Rotation about Z."""
+    theta = np.asarray(theta, dtype=np.float64)
+    phase = np.exp(-0.5j * theta)
+    zero = np.zeros_like(phase)
+    return _assemble_2x2(phase, zero, zero, np.conj(phase))
+
+
+def rot(phi: float, theta: float, omega: float) -> np.ndarray:
+    """General single-qubit rotation ``RZ(omega) RY(theta) RZ(phi)``."""
+    return rz(omega) @ ry(theta) @ rz(phi)
+
+
+def crz(theta) -> np.ndarray:
+    """Controlled-RZ on (control, target)."""
+    theta = np.asarray(theta, dtype=np.float64)
+    phase = np.exp(-0.5j * theta)
+    if theta.ndim == 0:
+        gate = np.eye(4, dtype=np.complex128)
+        gate[2, 2] = phase
+        gate[3, 3] = np.conj(phase)
+        return gate
+    gate = np.zeros(theta.shape + (4, 4), dtype=np.complex128)
+    gate[..., 0, 0] = 1.0
+    gate[..., 1, 1] = 1.0
+    gate[..., 2, 2] = phase
+    gate[..., 3, 3] = np.conj(phase)
+    return gate
+
+
+def _assemble_2x2(a, b, c, d) -> np.ndarray:
+    a = np.asarray(a, dtype=np.complex128)
+    if a.ndim == 0:
+        return np.array([[a, b], [c, d]], dtype=np.complex128)
+    gate = np.empty(a.shape + (2, 2), dtype=np.complex128)
+    gate[..., 0, 0] = a
+    gate[..., 0, 1] = b
+    gate[..., 1, 0] = c
+    gate[..., 1, 1] = d
+    return gate
+
+
+PARAMETRIC_GATES = {"RX": rx, "RY": ry, "RZ": rz, "CRZ": crz}
+FIXED_GATES = {
+    "CNOT": CNOT,
+    "CZ": CZ,
+    "SWAP": SWAP,
+    "H": HADAMARD,
+    "X": PAULI_X,
+    "Y": PAULI_Y,
+    "Z": PAULI_Z,
+}
+
+_GENERATORS = {
+    "RX": PAULI_X,
+    "RY": PAULI_Y,
+    "RZ": PAULI_Z,
+    "CRZ": _CRZ_GENERATOR,
+}
+
+
+def generator(name: str) -> np.ndarray:
+    """Return ``G`` with ``dU/dtheta = -i/2 G U`` for a parametric gate."""
+    try:
+        return _GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"gate {name!r} has no generator (not parametric)") from None

@@ -1,0 +1,153 @@
+"""Stochastic noise channels via quantum-trajectory unraveling.
+
+Exact density-matrix simulation doubles the memory exponent, so noise is
+modeled the standard trajectory way: after every gate of a noisy
+execution, each qubit independently suffers an error with probability
+``p`` (depolarizing: random X/Y/Z; amplitude damping: a jump to |0> with
+the appropriate norm bookkeeping).  Averaging observables over
+trajectories converges to the channel's true output — the property tests
+check depolarizing single-qubit behaviour against the analytic formula
+``<Z> -> (1 - 4p/3) <Z>`` per layer.
+
+This layer exists for the NISQ-robustness ablation
+(``bench_ablations.py``): the paper simulates noiselessly, and the
+ablation quantifies how much of the baseline encoder's latent signal a
+depolarizing rate would erase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import gates as G
+from .circuit import Circuit
+from .autodiff import execute
+from .state import apply_gate, num_wires, probabilities, z_signs, zero_state
+from .autodiff import prepare_amplitude_state
+
+__all__ = ["NoiseModel", "noisy_execute"]
+
+_PAULIS = (G.PAULI_X, G.PAULI_Y, G.PAULI_Z)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-gate, per-qubit error probabilities."""
+
+    depolarizing: float = 0.0
+    amplitude_damping: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("depolarizing", "amplitude_damping"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} probability {value} outside [0, 1]")
+
+    @property
+    def is_noiseless(self) -> bool:
+        return self.depolarizing == 0.0 and self.amplitude_damping == 0.0
+
+
+def noisy_execute(
+    circuit: Circuit,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    noise: NoiseModel,
+    n_trajectories: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Trajectory-averaged measurement outputs under the noise model.
+
+    Returns the same ``(batch, output_dim)`` shape as
+    :func:`repro.quantum.autodiff.execute`.  With a noiseless model this
+    delegates to the exact simulator.
+    """
+    if n_trajectories < 1:
+        raise ValueError("need at least one trajectory")
+    if noise.is_noiseless:
+        outputs, __ = execute(circuit, inputs, weights, want_cache=False)
+        return outputs
+
+    weights = np.asarray(weights, dtype=np.float64)
+    accumulated: np.ndarray | None = None
+    for _ in range(n_trajectories):
+        outputs = _one_trajectory(circuit, inputs, weights, noise, rng)
+        accumulated = outputs if accumulated is None else accumulated + outputs
+    return accumulated / n_trajectories
+
+
+def _one_trajectory(
+    circuit: Circuit,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    from .autodiff import _gate_matrix  # reuse the template binding
+
+    if inputs is not None:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        batch = inputs.shape[0]
+    else:
+        batch = 1
+
+    if circuit.state_prep is not None:
+        __, n_features, zero_fallback = circuit.state_prep
+        state, _norms = prepare_amplitude_state(
+            inputs[:, :n_features], circuit.n_wires, zero_fallback
+        )
+    else:
+        state = zero_state(circuit.n_wires, batch)
+
+    n = circuit.n_wires
+    for op in circuit.ops:
+        state = apply_gate(state, _gate_matrix(op, inputs, weights), op.wires)
+        state = _apply_noise(state, op.wires, noise, rng)
+
+    kind, wires = circuit.measurement
+    if kind == "expval":
+        signs = z_signs(n)
+        return probabilities(state) @ signs[list(wires)].T
+    return probabilities(state)
+
+
+def _apply_noise(
+    state: np.ndarray,
+    wires: tuple[int, ...],
+    noise: NoiseModel,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    for wire in wires:
+        if noise.depolarizing > 0.0 and rng.random() < noise.depolarizing:
+            pauli = _PAULIS[rng.integers(3)]
+            state = apply_gate(state, pauli, (wire,))
+        if noise.amplitude_damping > 0.0 and rng.random() < noise.amplitude_damping:
+            state = _damp(state, wire, rng)
+    return state
+
+
+def _damp(state: np.ndarray, wire: int, rng: np.random.Generator) -> np.ndarray:
+    """One amplitude-damping jump decision on a wire (full damping rate).
+
+    With probability equal to the qubit's |1> population, the trajectory
+    jumps to the decayed branch (|1> -> |0>); otherwise the no-jump Kraus
+    is applied and renormalized.
+    """
+    n = num_wires(state)
+    # Population of |1> on the wire, per batch element.
+    probs = probabilities(state)
+    signs = z_signs(n)[wire]
+    p_one = (probs * (signs < 0)).sum(axis=1)
+    jump = rng.random(state.shape[0]) < p_one
+
+    sigma_minus = np.array([[0, 1], [0, 0]], dtype=np.complex128)  # |0><1|
+    keep = np.array([[1, 0], [0, 0]], dtype=np.complex128)  # |0><0| projector
+    jumped = apply_gate(state, sigma_minus, (wire,))
+    kept = apply_gate(state, keep, (wire,))
+    out = np.where(jump[:, None], jumped, kept)
+    norms = np.linalg.norm(out, axis=1, keepdims=True)
+    # A batch element with p_one == 0 never jumps and keep is the identity
+    # on it, so norms stay positive.
+    return out / np.where(norms > 1e-300, norms, 1.0)

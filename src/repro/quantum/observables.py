@@ -1,0 +1,79 @@
+"""General Pauli-string observables: expectations and variances.
+
+Section II-C of the paper defines measurement as returning "expectation,
+variance, or probabilities"; the architectures only consume Pauli-Z
+expectations and probabilities, so this module completes the measurement
+algebra: expectation/variance of arbitrary Pauli strings (e.g. ``"XZY"``)
+via basis rotation, without touching the training path.
+
+A Pauli string maps each wire to I/X/Y/Z.  Since every Pauli has
+eigenvalues +-1, the observable squares to the identity and
+``Var[P] = 1 - <P>^2`` — property-tested against direct sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import gates as G
+from .state import apply_gate, num_wires, probabilities, z_signs
+
+__all__ = [
+    "pauli_string_expval",
+    "pauli_string_variance",
+    "rotate_to_z_basis",
+]
+
+# Single-qubit rotations U with U P U^dag = Z.
+_HY = (G.HADAMARD @ np.array([[1, 0], [0, -1j]], dtype=np.complex128))
+
+
+def _basis_change(pauli: str) -> np.ndarray | None:
+    if pauli == "Z":
+        return None
+    if pauli == "X":
+        return G.HADAMARD  # H X H = Z
+    if pauli == "Y":
+        return _HY  # (H S^dag) Y (H S^dag)^dag = Z
+    raise ValueError(f"unknown Pauli letter {pauli!r}")
+
+
+def rotate_to_z_basis(state: np.ndarray, pauli_string: str) -> np.ndarray:
+    """Apply the per-wire basis change turning the string into all-Z."""
+    n = num_wires(state)
+    if len(pauli_string) != n:
+        raise ValueError(
+            f"Pauli string length {len(pauli_string)} != {n} wires"
+        )
+    for wire, letter in enumerate(pauli_string.upper()):
+        if letter == "I":
+            continue
+        rotation = _basis_change(letter)
+        if rotation is not None:
+            state = apply_gate(state, rotation, (wire,))
+    return state
+
+
+def pauli_string_expval(state: np.ndarray, pauli_string: str) -> np.ndarray:
+    """<P> for a Pauli string like ``"XZIY"``, shape ``(batch,)`` in [-1, 1]."""
+    pauli_string = pauli_string.upper()
+    n = num_wires(state)
+    rotated = rotate_to_z_basis(state, pauli_string)
+    probs = probabilities(rotated)
+    signs = np.ones(2**n)
+    all_signs = z_signs(n)
+    for wire, letter in enumerate(pauli_string):
+        if letter != "I":
+            signs = signs * all_signs[wire]
+    return probs @ signs
+
+
+def pauli_string_variance(state: np.ndarray, pauli_string: str) -> np.ndarray:
+    """Var[P] = <P^2> - <P>^2 = 1 - <P>^2 for any non-identity Pauli string.
+
+    The all-identity string is a constant observable with zero variance.
+    """
+    if set(pauli_string.upper()) == {"I"}:
+        return np.zeros(state.shape[0])
+    expval = pauli_string_expval(state, pauli_string)
+    return 1.0 - expval**2

@@ -1,0 +1,78 @@
+"""Finite-shot measurement sampling — the NISQ-realism layer.
+
+The paper evaluates on PennyLane's *exact* simulator; real near-term
+hardware estimates expectations from a finite number of shots.  This module
+adds that layer: sample computational-basis outcomes from a state and
+estimate per-wire Pauli-Z expectations or basis probabilities from the
+samples.  The ablation benchmark ``bench_ablations.py::bench_shot_noise``
+quantifies how shot noise would perturb the paper's encoder outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import num_wires, probabilities, z_signs
+
+__all__ = [
+    "sample_basis_states",
+    "estimate_expval_z",
+    "estimate_probabilities",
+    "shot_noise_std",
+]
+
+
+def sample_basis_states(
+    state: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``shots`` basis-state indices per batch element: ``(batch, shots)``."""
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    probs = probabilities(state)
+    # Guard against tiny negative / rounding drift before sampling.
+    probs = np.clip(probs, 0.0, None)
+    probs /= probs.sum(axis=1, keepdims=True)
+    batch, dim = probs.shape
+    out = np.empty((batch, shots), dtype=np.int64)
+    for b in range(batch):
+        out[b] = rng.choice(dim, size=shots, p=probs[b])
+    return out
+
+
+def estimate_expval_z(
+    state: np.ndarray,
+    wires: tuple[int, ...],
+    shots: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Shot-based estimate of per-wire Z expectations: ``(batch, len(wires))``.
+
+    Unbiased: converges to :func:`repro.quantum.state.expval_z` as shots
+    grow, with standard error ``sqrt((1 - <Z>^2) / shots)``.
+    """
+    n = num_wires(state)
+    samples = sample_basis_states(state, shots, rng)
+    signs = z_signs(n)
+    estimates = np.empty((state.shape[0], len(wires)), dtype=np.float64)
+    for column, wire in enumerate(wires):
+        estimates[:, column] = signs[wire][samples].mean(axis=1)
+    return estimates
+
+
+def estimate_probabilities(
+    state: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Shot-based estimate of the basis-probability vector."""
+    samples = sample_basis_states(state, shots, rng)
+    dim = state.shape[1]
+    batch = state.shape[0]
+    estimates = np.zeros((batch, dim), dtype=np.float64)
+    for b in range(batch):
+        counts = np.bincount(samples[b], minlength=dim)
+        estimates[b] = counts / shots
+    return estimates
+
+
+def shot_noise_std(expval: np.ndarray, shots: int) -> np.ndarray:
+    """Theoretical standard error of a Z-expectation estimate."""
+    return np.sqrt(np.clip(1.0 - np.asarray(expval) ** 2, 0.0, None) / shots)

@@ -1,0 +1,67 @@
+"""Training history records: per-epoch losses and evaluation curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EpochRecord", "History"]
+
+
+@dataclass
+class EpochRecord:
+    """Mean losses over one epoch (test fields None when not evaluated)."""
+
+    epoch: int
+    train_loss: float
+    train_reconstruction: float
+    train_kl: float
+    test_loss: float | None = None
+    test_reconstruction: float | None = None
+
+
+@dataclass
+class History:
+    """Full training trace for one run."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+    batch_losses: list[float] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.epochs.append(record)
+
+    @property
+    def train_losses(self) -> list[float]:
+        return [r.train_loss for r in self.epochs]
+
+    @property
+    def train_reconstructions(self) -> list[float]:
+        return [r.train_reconstruction for r in self.epochs]
+
+    @property
+    def test_losses(self) -> list[float]:
+        return [r.test_loss for r in self.epochs if r.test_loss is not None]
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].train_loss
+
+    @property
+    def final_test_loss(self) -> float | None:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].test_loss
+
+    def loss_at_epoch(self, epoch: int, split: str = "train") -> float:
+        """Loss after a given 1-based epoch (Fig. 6 reads epochs 5 and 10)."""
+        for record in self.epochs:
+            if record.epoch == epoch:
+                if split == "train":
+                    return record.train_loss
+                if split == "test":
+                    if record.test_loss is None:
+                        raise ValueError(f"epoch {epoch} has no test loss")
+                    return record.test_loss
+                raise ValueError(f"unknown split {split!r}")
+        raise KeyError(f"no record for epoch {epoch}")

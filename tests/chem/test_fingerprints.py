@@ -1,0 +1,123 @@
+"""Tests for Morgan-style fingerprints, Tanimoto, and novelty."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chem import (
+    MoleculeSpec,
+    bulk_tanimoto,
+    from_smiles,
+    morgan_fingerprint,
+    nearest_neighbor_similarity,
+    novelty,
+    random_molecule,
+    random_molecules,
+    tanimoto,
+)
+
+
+class TestFingerprint:
+    def test_shape_and_dtype(self):
+        fp = morgan_fingerprint(from_smiles("CCO"), n_bits=256)
+        assert fp.shape == (256,)
+        assert fp.dtype == bool
+        assert fp.any()
+
+    def test_deterministic(self):
+        a = morgan_fingerprint(from_smiles("CCO"))
+        b = morgan_fingerprint(from_smiles("CCO"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_renumbering_invariant(self):
+        a = morgan_fingerprint(from_smiles("CCO"))
+        b = morgan_fingerprint(from_smiles("OCC"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_min_bits_enforced(self):
+        with pytest.raises(ValueError):
+            morgan_fingerprint(from_smiles("C"), n_bits=4)
+
+    def test_submolecule_bits_subset(self):
+        # Ethanol contains every radius-0 environment of ethane's carbons?
+        # Not exactly — but a molecule trivially contains its own bits.
+        fp = morgan_fingerprint(from_smiles("CCO"))
+        assert tanimoto(fp, fp) == 1.0
+
+
+class TestTanimoto:
+    def test_identical(self):
+        fp = morgan_fingerprint(from_smiles("CCCC"))
+        assert tanimoto(fp, fp) == 1.0
+
+    def test_disjoint(self):
+        a = np.zeros(16, dtype=bool)
+        b = np.zeros(16, dtype=bool)
+        a[0] = True
+        b[1] = True
+        assert tanimoto(a, b) == 0.0
+
+    def test_empty(self):
+        z = np.zeros(16, dtype=bool)
+        assert tanimoto(z, z) == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([1, 1, 0, 0], dtype=bool)
+        b = np.array([1, 0, 1, 0], dtype=bool)
+        assert tanimoto(a, b) == pytest.approx(1 / 3)
+
+    def test_similar_molecules_score_higher(self):
+        ethanol = morgan_fingerprint(from_smiles("CCO"))
+        propanol = morgan_fingerprint(from_smiles("CCCO"))
+        benzene_like = morgan_fingerprint(from_smiles("C1CCCCC1"))
+        assert tanimoto(ethanol, propanol) > tanimoto(ethanol, benzene_like)
+
+    def test_bulk_matches_scalar(self):
+        mols = [from_smiles(s) for s in ("CCO", "CCC", "C1CCCCC1")]
+        fps = np.stack([morgan_fingerprint(m) for m in mols])
+        query = morgan_fingerprint(from_smiles("CCO"))
+        bulk = bulk_tanimoto(query, fps)
+        for i, fp in enumerate(fps):
+            assert bulk[i] == pytest.approx(tanimoto(query, fp))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_tanimoto_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        a = morgan_fingerprint(random_molecule(rng, MoleculeSpec()))
+        b = morgan_fingerprint(random_molecule(rng, MoleculeSpec()))
+        assert 0.0 <= tanimoto(a, b) <= 1.0
+
+
+class TestNovelty:
+    def test_copies_are_not_novel(self):
+        reference = random_molecules(10, seed=0)
+        assert novelty(reference, reference) == 0.0
+
+    def test_disjoint_sets_fully_novel(self):
+        small = random_molecules(8, seed=1, spec=MoleculeSpec(min_atoms=4,
+                                                              max_atoms=5))
+        large = random_molecules(8, seed=2, spec=MoleculeSpec(min_atoms=16,
+                                                              max_atoms=20))
+        assert novelty(large, small) == 1.0
+
+    def test_threshold_softens(self):
+        reference = random_molecules(10, seed=3)
+        generated = random_molecules(10, seed=4)
+        strict = novelty(generated, reference, threshold=1.0)
+        loose = novelty(generated, reference, threshold=0.3)
+        assert loose <= strict
+
+    def test_empty_generated(self):
+        assert novelty([], random_molecules(3, seed=5)) == 0.0
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_similarity(random_molecules(2, seed=6), [])
+
+    def test_nearest_neighbor_shape(self):
+        gen = random_molecules(5, seed=7)
+        ref = random_molecules(3, seed=8)
+        sims = nearest_neighbor_similarity(gen, ref)
+        assert sims.shape == (5,)
+        assert np.all((0 <= sims) & (sims <= 1))

@@ -1,0 +1,117 @@
+"""Property-based invariants of the chemistry pipeline.
+
+These pin down the algebraic properties the Table II pipeline silently
+relies on: idempotence of repair and discretization, codec consistency,
+and boundedness of every score.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chem import (
+    MoleculeSpec,
+    canonical_signature,
+    decode_molecule,
+    discretize,
+    encode_molecule,
+    is_valid,
+    is_well_formed,
+    normalized_logp,
+    normalized_sa,
+    qed,
+    random_molecule,
+    sanitize_lenient,
+)
+from repro.chem.sa import default_fragment_table
+
+seeds = st.integers(0, 100_000)
+
+
+def random_mol(seed, max_atoms=16):
+    rng = np.random.default_rng(seed)
+    spec = MoleculeSpec(
+        min_atoms=3, max_atoms=max_atoms,
+        hetero_weights={"N": 0.1, "O": 0.12, "F": 0.03, "S": 0.03},
+        ring_closure_prob=0.5, max_ring_closures=3,
+    )
+    return random_molecule(rng, spec)
+
+
+class TestIdempotence:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_sanitize_lenient_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        raw = decode_molecule(
+            discretize(rng.normal(loc=0.4, scale=1.5, size=(10, 10)))
+        )
+        once = sanitize_lenient(raw)
+        twice = sanitize_lenient(once)
+        assert canonical_signature(once) == canonical_signature(twice)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_discretize_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = discretize(rng.normal(scale=2.0, size=(8, 8)))
+        np.testing.assert_array_equal(discretize(matrix), matrix)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_sanitize_preserves_valid_molecules(self, seed):
+        mol = random_mol(seed)
+        repaired = sanitize_lenient(mol)
+        assert canonical_signature(repaired) == canonical_signature(mol)
+
+
+class TestCodecConsistency:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_encode_decode_identity(self, seed):
+        mol = random_mol(seed, max_atoms=20)
+        again = decode_molecule(encode_molecule(mol, 32))
+        assert canonical_signature(again) == canonical_signature(mol)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_encoded_matrices_well_formed(self, seed):
+        mol = random_mol(seed, max_atoms=20)
+        assert is_well_formed(encode_molecule(mol, 32))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_atom_count_preserved(self, seed):
+        mol = random_mol(seed)
+        matrix = encode_molecule(mol, 24)
+        assert int((np.diag(matrix) > 0).sum()) == mol.num_atoms
+
+
+class TestScoreBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_all_scores_bounded(self, seed):
+        mol = random_mol(seed, max_atoms=24)
+        table = default_fragment_table()
+        assert 0.0 <= qed(mol) <= 1.0
+        assert 0.0 <= normalized_logp(mol) <= 1.0
+        assert 0.0 <= normalized_sa(mol, table) <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_repaired_random_matrices_scoreable(self, seed):
+        rng = np.random.default_rng(seed)
+        raw = decode_molecule(
+            discretize(rng.normal(loc=0.35, scale=1.4, size=(12, 12)))
+        )
+        repaired = sanitize_lenient(raw)
+        if repaired.num_atoms:
+            assert is_valid(repaired)
+            assert 0.0 <= qed(repaired) <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_signature_stable_under_encode_roundtrip(self, seed):
+        mol = random_mol(seed)
+        sig = canonical_signature(mol)
+        roundtrip = decode_molecule(encode_molecule(mol, 20))
+        assert canonical_signature(roundtrip) == sig

@@ -1,0 +1,236 @@
+"""Tests for the molecule-matrix codec and valence sanitization/repair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chem import (
+    AROMATIC,
+    Molecule,
+    MoleculeSpec,
+    check_valence,
+    decode_molecule,
+    discretize,
+    encode_molecule,
+    is_valid,
+    is_well_formed,
+    largest_fragment,
+    random_molecule,
+    sanitize_lenient,
+    symmetrize,
+)
+
+
+def paper_fig3_matrix():
+    """The 9x9 QM9 molecule matrix from Fig. 3 of the paper."""
+    return np.array(
+        [
+            [1, 1, 0, 0, 0, 0, 0, 0, 0],
+            [1, 1, 4, 0, 0, 0, 0, 0, 4],
+            [0, 4, 1, 1, 4, 0, 0, 0, 0],
+            [0, 0, 1, 2, 0, 0, 0, 0, 0],
+            [0, 0, 4, 0, 1, 4, 0, 0, 0],
+            [0, 0, 0, 0, 4, 1, 4, 0, 0],
+            [0, 0, 0, 0, 0, 4, 1, 2, 4],
+            [0, 0, 0, 0, 0, 0, 2, 3, 0],
+            [0, 4, 0, 0, 0, 0, 4, 0, 2],
+        ]
+    )
+
+
+class TestCodec:
+    def test_encode_ethanol(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "C", "O"], [(0, 1, 1.0), (1, 2, 1.0)]
+        )
+        matrix = encode_molecule(mol, 4)
+        assert matrix.shape == (4, 4)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1 and matrix[2, 2] == 3
+        assert matrix[0, 1] == matrix[1, 0] == 1
+        assert matrix[3, 3] == 0
+
+    def test_roundtrip_simple(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "N", "O"], [(0, 1, 2.0), (1, 2, 1.0)]
+        )
+        assert decode_molecule(encode_molecule(mol, 5)) == mol
+
+    def test_roundtrip_aromatic(self):
+        bonds = [(i, (i + 1) % 6, AROMATIC) for i in range(6)]
+        mol = Molecule.from_atoms_and_bonds(["C"] * 6, bonds)
+        assert decode_molecule(encode_molecule(mol, 8)) == mol
+
+    def test_decode_paper_example(self):
+        mol = decode_molecule(paper_fig3_matrix())
+        assert mol.num_atoms == 9
+        # Fig. 3 diagonal: [1,1,1,2,1,1,1,3,2] -> six C, two N, one O.
+        assert mol.symbols.count("C") == 6
+        assert mol.symbols.count("N") == 2
+        assert mol.symbols.count("O") == 1
+        # Off-diagonal non-zeros come in symmetric pairs: 9 bonds total.
+        assert mol.num_bonds == 9
+
+    def test_encode_too_many_atoms(self):
+        mol = Molecule.from_atoms_and_bonds(["C"] * 3, [])
+        with pytest.raises(ValueError):
+            encode_molecule(mol, 2)
+
+    def test_decode_skips_bonds_to_empty_slots(self):
+        matrix = np.zeros((3, 3), dtype=int)
+        matrix[0, 0] = 1
+        matrix[0, 2] = 1  # bond to an empty slot
+        matrix[2, 0] = 1
+        mol = decode_molecule(matrix)
+        assert mol.num_atoms == 1
+        assert mol.num_bonds == 0
+
+    def test_decode_unknown_atom_code(self):
+        matrix = np.zeros((2, 2), dtype=int)
+        matrix[0, 0] = 9
+        with pytest.raises(ValueError):
+            decode_molecule(matrix)
+
+    def test_decode_nonsquare(self):
+        with pytest.raises(ValueError):
+            decode_molecule(np.zeros((2, 3)))
+
+    def test_symmetrize(self):
+        matrix = np.array([[0.0, 2.0], [0.0, 0.0]])
+        np.testing.assert_allclose(symmetrize(matrix), [[0, 1], [1, 0]])
+
+    def test_discretize_rounds_and_clips(self):
+        raw = np.array(
+            [
+                [1.4, 0.6, -0.3],
+                [0.6, 7.9, 3.6],
+                [-0.3, 3.6, 2.2],
+            ]
+        )
+        out = discretize(raw)
+        assert out[0, 0] == 1
+        assert out[1, 1] == 5  # diag clipped to max atom code
+        assert out[0, 2] == 0  # negative -> 0
+        assert out[1, 2] == 4  # off-diag clipped to max bond code
+        assert np.array_equal(out, out.T)
+
+    def test_discretize_symmetrizes_first(self):
+        raw = np.zeros((2, 2))
+        raw[0, 1] = 2.0  # asymmetric input averages to 1.0
+        out = discretize(raw)
+        assert out[0, 1] == out[1, 0] == 1
+
+    def test_is_well_formed(self):
+        assert is_well_formed(paper_fig3_matrix())
+        bad = paper_fig3_matrix()
+        bad[0, 1] = 9
+        assert not is_well_formed(bad)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_molecule_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        mol = random_molecule(rng, MoleculeSpec())
+        assert decode_molecule(encode_molecule(mol, 9)) == mol
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_discretize_always_well_formed(self, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(scale=3.0, size=(8, 8))
+        assert is_well_formed(discretize(raw))
+
+
+class TestStrictValidation:
+    def test_valid_molecule(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "C", "O"], [(0, 1, 1.0), (1, 2, 1.0)]
+        )
+        report = check_valence(mol)
+        assert report.ok and not report.problems
+
+    def test_overloaded_carbon(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "O", "O", "O"],
+            [(0, 1, 2.0), (0, 2, 2.0), (0, 3, 2.0)],
+        )
+        report = check_valence(mol)
+        assert not report.ok
+        assert any("valence" in p for p in report.problems)
+
+    def test_fluorine_overload(self):
+        mol = Molecule.from_atoms_and_bonds(["F", "C"], [(0, 1, 2.0)])
+        assert not is_valid(mol)
+
+    def test_aromatic_outside_ring_invalid(self):
+        mol = Molecule.from_atoms_and_bonds(["C", "C"], [(0, 1, AROMATIC)])
+        report = check_valence(mol)
+        assert not report.ok
+        assert any("aromatic" in p for p in report.problems)
+
+    def test_disconnected_invalid(self):
+        mol = Molecule.from_atoms_and_bonds(["C", "C"], [])
+        assert not is_valid(mol)
+
+    def test_empty_invalid(self):
+        assert not is_valid(Molecule())
+
+
+class TestLenientRepair:
+    def test_repair_returns_valid(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "O", "O", "O"],
+            [(0, 1, 2.0), (0, 2, 2.0), (0, 3, 2.0)],
+        )
+        fixed = sanitize_lenient(mol)
+        assert is_valid(fixed)
+
+    def test_repair_demotes_nonring_aromatic(self):
+        mol = Molecule.from_atoms_and_bonds(["C", "C"], [(0, 1, AROMATIC)])
+        fixed = sanitize_lenient(mol)
+        assert fixed.bond_order(0, 1) == 1.0
+        assert is_valid(fixed)
+
+    def test_repair_keeps_largest_fragment(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "C", "C", "O"], [(0, 1, 1.0), (0, 2, 1.0)]
+        )
+        fixed = sanitize_lenient(mol)
+        assert fixed.num_atoms == 3
+        assert "O" not in fixed.symbols
+
+    def test_repair_empty(self):
+        assert sanitize_lenient(Molecule()).num_atoms == 0
+
+    def test_repair_preserves_valid_molecule(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "C", "O"], [(0, 1, 1.0), (1, 2, 1.0)]
+        )
+        assert sanitize_lenient(mol) == mol
+
+    def test_largest_fragment_tie_breaks_low_index(self):
+        mol = Molecule.from_atoms_and_bonds(
+            ["C", "N", "O", "S"], [(0, 1, 1.0), (2, 3, 1.0)]
+        )
+        frag = largest_fragment(mol)
+        assert frag.symbols == ["C", "N"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_repair_always_valid_on_random_matrices(self, seed):
+        # The Table II pipeline: random continuous matrix -> discretize ->
+        # decode -> lenient repair must yield a valid or empty molecule.
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(loc=0.4, scale=1.5, size=(12, 12))
+        mol = decode_molecule(discretize(raw))
+        fixed = sanitize_lenient(mol)
+        assert fixed.num_atoms == 0 or is_valid(fixed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_generator_molecules_strictly_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        spec = MoleculeSpec(min_atoms=5, max_atoms=20,
+                            hetero_weights={"N": 0.1, "O": 0.12, "F": 0.03, "S": 0.04},
+                            ring_closure_prob=0.6, max_ring_closures=3)
+        mol = random_molecule(rng, spec)
+        assert is_valid(mol)

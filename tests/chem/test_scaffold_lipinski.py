@@ -1,0 +1,156 @@
+"""Tests for Murcko scaffolds, canonical signatures, and Lipinski filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chem import (
+    AROMATIC,
+    Molecule,
+    MoleculeSpec,
+    canonical_signature,
+    from_smiles,
+    lipinski_report,
+    murcko_scaffold,
+    passes_rule_of_five,
+    passes_veber,
+    random_molecule,
+    same_molecule,
+    scaffold_diversity,
+)
+
+
+def benzene():
+    return Molecule.from_atoms_and_bonds(
+        ["C"] * 6, [(i, (i + 1) % 6, AROMATIC) for i in range(6)]
+    )
+
+
+class TestMurckoScaffold:
+    def test_acyclic_gives_empty(self):
+        assert murcko_scaffold(from_smiles("CCCCO")).num_atoms == 0
+
+    def test_plain_ring_is_its_own_scaffold(self):
+        ring = from_smiles("C1CCCCC1")
+        assert same_molecule(murcko_scaffold(ring), ring)
+
+    def test_substituents_removed(self):
+        decorated = from_smiles("CC1CCCC(O)C1")
+        scaffold = murcko_scaffold(decorated)
+        assert scaffold.num_atoms == 6
+        assert set(scaffold.symbols) == {"C"}
+
+    def test_linker_retained(self):
+        # Two rings joined by a 2-carbon linker: the linker stays.
+        two_rings = from_smiles("C1CCCCC1CCC1CCCCC1")
+        scaffold = murcko_scaffold(two_rings)
+        assert scaffold.num_atoms == 14  # 6 + 2 + 6
+
+    def test_dangling_chain_on_linker_removed(self):
+        mol = from_smiles("C1CCCCC1C(CCC)C1CCCCC1")
+        scaffold = murcko_scaffold(mol)
+        assert scaffold.num_atoms == 13  # 6 + 1 + 6; the CCC branch drops
+
+    def test_original_not_mutated(self):
+        mol = from_smiles("CC1CCCCC1")
+        murcko_scaffold(mol)
+        assert mol.num_atoms == 7
+
+
+class TestCanonicalSignature:
+    def test_invariant_under_renumbering(self):
+        a = from_smiles("CCO")
+        b = from_smiles("OCC")
+        assert canonical_signature(a) == canonical_signature(b)
+
+    def test_distinguishes_constitutional_isomers(self):
+        butane = from_smiles("CCCC")
+        isobutane = from_smiles("CC(C)C")
+        assert canonical_signature(butane) != canonical_signature(isobutane)
+
+    def test_distinguishes_bond_orders(self):
+        assert canonical_signature(from_smiles("CC")) != canonical_signature(
+            from_smiles("C=C")
+        )
+
+    def test_distinguishes_elements(self):
+        assert canonical_signature(from_smiles("CCO")) != canonical_signature(
+            from_smiles("CCN")
+        )
+
+    def test_empty_molecule(self):
+        assert canonical_signature(Molecule()) == "empty"
+
+    def test_same_molecule_predicate(self):
+        assert same_molecule(benzene(), benzene())
+        assert not same_molecule(benzene(), from_smiles("C1CCCCC1"))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_invariant_under_random_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        mol = random_molecule(rng, MoleculeSpec(min_atoms=4, max_atoms=12))
+        permutation = rng.permutation(mol.num_atoms)
+        remapped = Molecule()
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(mol.num_atoms)
+        for new_index in range(mol.num_atoms):
+            remapped.add_atom(mol.symbols[permutation[new_index]])
+        for i, j, order in mol.bonds():
+            remapped.add_bond(int(inverse[i]), int(inverse[j]), order)
+        assert canonical_signature(mol) == canonical_signature(remapped)
+
+
+class TestScaffoldDiversity:
+    def test_empty_set(self):
+        assert scaffold_diversity([]) == 0.0
+
+    def test_identical_scaffolds(self):
+        mols = [from_smiles("CC1CCCCC1"), from_smiles("CCC1CCCCC1")]
+        assert scaffold_diversity(mols) == 0.5
+
+    def test_distinct_scaffolds(self):
+        mols = [from_smiles("C1CCCCC1"), benzene()]
+        assert scaffold_diversity(mols) == 1.0
+
+
+class TestLipinski:
+    def test_small_molecule_passes(self):
+        report = lipinski_report(from_smiles("CCO"))
+        assert report.n_violations == 0
+        assert passes_rule_of_five(from_smiles("CCO"))
+        assert passes_veber(from_smiles("CCO"))
+
+    def test_heavy_molecule_violates_mw(self):
+        big = from_smiles("C" * 40)
+        report = lipinski_report(big)
+        assert "MW > 500" in report.violations
+
+    def test_greasy_molecule_violates_logp(self):
+        greasy = from_smiles("C" * 35)
+        assert "logP > 5" in lipinski_report(greasy).violations
+
+    def test_donor_violation(self):
+        polyol = from_smiles("OC(O)C(O)C(O)C(O)C(O)O")
+        assert "HBD > 5" in lipinski_report(polyol).violations
+
+    def test_acceptor_violation(self):
+        ethers = from_smiles("COCOCOCOCOCOCOCOCOCOCOC")
+        assert "HBA > 10" in lipinski_report(ethers).violations
+
+    def test_allowed_violations_threshold(self):
+        big = from_smiles("C" * 40)  # violates MW and logP
+        assert not passes_rule_of_five(big, allowed_violations=1)
+        assert passes_rule_of_five(big, allowed_violations=2)
+
+    def test_veber_rotatable_violation(self):
+        floppy = from_smiles("C" * 16)
+        assert lipinski_report(floppy).rotatable > 10
+        assert not passes_veber(floppy)
+
+    def test_report_values_consistent(self):
+        mol = from_smiles("CCO")
+        report = lipinski_report(mol)
+        assert report.molecular_weight == pytest.approx(mol.molecular_weight())
+        assert report.donors == 1
+        assert report.acceptors == 1

@@ -1,0 +1,133 @@
+"""Tests for latent-space interpolation and neighborhood exploration."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    decode_to_molecules,
+    encode_to_latent,
+    interpolate_latent,
+    latent_neighborhood,
+)
+from repro.models import ClassicalAE, ClassicalVAE
+
+
+def vae():
+    return ClassicalVAE(input_dim=64, latent_dim=4, hidden_dims=(16, 8),
+                        rng=np.random.default_rng(0), noise_seed=0)
+
+
+class TestEncode:
+    def test_shape(self):
+        codes = encode_to_latent(vae(), np.zeros((5, 64)))
+        assert codes.shape == (5, 4)
+
+    def test_single_sample_promoted(self):
+        codes = encode_to_latent(vae(), np.zeros(64))
+        assert codes.shape == (1, 4)
+
+    def test_deterministic_for_vae(self):
+        model = vae()
+        x = np.random.default_rng(1).normal(size=(2, 64))
+        np.testing.assert_allclose(encode_to_latent(model, x),
+                                   encode_to_latent(model, x))
+
+
+class TestInterpolation:
+    def test_shape(self):
+        model = vae()
+        rng = np.random.default_rng(2)
+        path = interpolate_latent(model, rng.normal(size=64),
+                                  rng.normal(size=64), steps=5)
+        assert path.shape == (5, 64)
+
+    def test_endpoints_match_direct_decode(self):
+        model = vae()
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=64), rng.normal(size=64)
+        path = interpolate_latent(model, a, b, steps=3)
+        from repro.nn import Tensor, no_grad
+
+        codes = encode_to_latent(model, np.stack([a, b]))
+        with no_grad():
+            expected = model.decode(Tensor(codes)).data
+        np.testing.assert_allclose(path[0], expected[0], atol=1e-12)
+        np.testing.assert_allclose(path[-1], expected[1], atol=1e-12)
+
+    def test_midpoint_between_endpoints_in_latent(self):
+        model = vae()
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=64), rng.normal(size=64)
+        codes = encode_to_latent(model, np.stack([a, b]))
+        path_codes = 0.5 * (codes[0] + codes[1])
+        # decoded midpoint equals decode of mean code by linearity of the
+        # interpolation construction
+        path = interpolate_latent(model, a, b, steps=3)
+        from repro.nn import Tensor, no_grad
+
+        with no_grad():
+            mid = model.decode(Tensor(path_codes[None, :])).data[0]
+        np.testing.assert_allclose(path[1], mid, atol=1e-12)
+
+    def test_needs_two_steps(self):
+        with pytest.raises(ValueError):
+            interpolate_latent(vae(), np.zeros(64), np.ones(64), steps=1)
+
+    def test_works_with_vanilla_ae(self):
+        model = ClassicalAE(input_dim=64, latent_dim=4, hidden_dims=(16, 8),
+                            rng=np.random.default_rng(5))
+        path = interpolate_latent(model, np.zeros(64), np.ones(64), steps=4)
+        assert path.shape == (4, 64)
+
+
+class TestDecodeToMolecules:
+    def test_roundtrip_via_matrices(self):
+        from repro.chem import encode_molecule, from_smiles, same_molecule
+
+        mol = from_smiles("CCO")
+        flat = encode_molecule(mol, 8).reshape(1, 64).astype(float)
+        decoded = decode_to_molecules(flat)
+        assert len(decoded) == 1
+        assert same_molecule(decoded[0], mol)
+
+    def test_repair_flag(self):
+        # An invalid continuous matrix decodes to something strictly valid
+        # when repair=True.
+        from repro.chem import is_valid
+
+        rng = np.random.default_rng(6)
+        flat = rng.normal(loc=0.4, scale=1.5, size=(3, 64))
+        repaired = decode_to_molecules(flat, repair=True)
+        assert all(m.num_atoms == 0 or is_valid(m) for m in repaired)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            decode_to_molecules(np.zeros((1, 60)))
+
+
+class TestNeighborhood:
+    def test_shape(self):
+        out = latent_neighborhood(vae(), np.zeros(64), n_samples=6,
+                                  radius=0.5, rng=np.random.default_rng(7))
+        assert out.shape == (6, 64)
+
+    def test_zero_radius_reproduces_decode(self):
+        model = vae()
+        x = np.random.default_rng(8).normal(size=64)
+        out = latent_neighborhood(model, x, n_samples=3, radius=0.0,
+                                  rng=np.random.default_rng(9))
+        np.testing.assert_allclose(out[0], out[1], atol=1e-12)
+
+    def test_larger_radius_more_spread(self):
+        model = vae()
+        x = np.random.default_rng(10).normal(size=64)
+        near = latent_neighborhood(model, x, 20, radius=0.01,
+                                   rng=np.random.default_rng(11))
+        far = latent_neighborhood(model, x, 20, radius=2.0,
+                                  rng=np.random.default_rng(11))
+        assert far.std(axis=0).mean() > near.std(axis=0).mean()
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            latent_neighborhood(vae(), np.zeros(64), 2, radius=-1.0,
+                                rng=np.random.default_rng(0))

@@ -1,0 +1,89 @@
+"""Tests for the ablation experiment drivers (minimal workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_beta_ablation,
+    run_cnot_range_ablation,
+    run_noise_robustness,
+    run_patched_vs_monolithic,
+    run_shot_noise_ablation,
+)
+
+
+class TestPatchedVsMonolithic:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_patched_vs_monolithic(n_ligands=24, epochs=1,
+                                         patch_counts=(4,), seed=0)
+
+    def test_entries(self, result):
+        assert "H-BQ-AE (monolithic)" in result.losses
+        assert "SQ-AE (p=4)" in result.losses
+
+    def test_latent_dims(self, result):
+        assert result.latent_dims["H-BQ-AE (monolithic)"] == 10
+        assert result.latent_dims["SQ-AE (p=4)"] == 32
+
+    def test_format(self, result):
+        assert "monolithic" in result.format_table()
+
+
+class TestCnotRange:
+    def test_both_layouts_train(self):
+        result = run_cnot_range_ablation(n_ligands=24, epochs=1, seed=0)
+        assert len(result.losses) == 2
+        for curve in result.losses.values():
+            assert len(curve) == 1
+            assert np.isfinite(curve[0])
+
+
+class TestShotNoise:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_shot_noise_ablation(shot_counts=(16, 1024), n_molecules=6,
+                                       seed=0)
+
+    def test_rmse_decreases_with_shots(self, result):
+        assert result.rmse_by_shots[1024] < result.rmse_by_shots[16]
+
+    def test_shots_for_tolerance(self, result):
+        assert result.shots_for(10.0) == 16  # everything passes a huge tol
+        assert result.shots_for(0.0) is None  # nothing is exact
+
+    def test_format(self, result):
+        assert "Shots" in result.format_table()
+
+
+class TestNoiseRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_noise_robustness(rates=(0.0, 0.2), n_molecules=4,
+                                    n_trajectories=30, seed=0)
+
+    def test_noiseless_exact(self, result):
+        assert result.rmse_by_rate[0.0] < 1e-9
+
+    def test_noise_hurts(self, result):
+        assert result.rmse_by_rate[0.2] > 0.01
+
+    def test_monotone_check_runs(self, result):
+        assert isinstance(result.degrades_monotonically(), bool)
+
+
+class TestBetaAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_beta_ablation(betas=(0.1, 50.0), n_molecules=48, epochs=4,
+                                 seed=0)
+
+    def test_rows(self, result):
+        assert set(result.rows) == {0.1, 50.0}
+
+    def test_tradeoff_directions(self, result):
+        assert result.reconstruction_degrades_with_beta()
+        assert result.posterior_shrinks_with_beta()
+
+    def test_format(self, result):
+        assert "beta" in result.format_table()

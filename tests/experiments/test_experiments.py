@@ -1,0 +1,213 @@
+"""Integration tests for the experiment drivers (minimal workloads).
+
+These exercise every driver end to end with tiny configurations so the
+plain test suite validates the full reproduction pipeline quickly; the
+benchmark suite runs the same drivers at meaningful scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import FAST, FULL, get_scale
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.fig5 import Fig5Config, run_fig5
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.fig7 import Fig7Config, run_fig7
+from repro.experiments.fig8 import Fig8Config, run_fig8
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+
+
+class TestScale:
+    def test_default_scale_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert get_scale().name == "fast"
+
+    def test_env_switches_to_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert get_scale().name == "full"
+
+    def test_env_false_values(self, monkeypatch):
+        for value in ("0", "false", "no", ""):
+            monkeypatch.setenv("REPRO_FULL", value)
+            assert get_scale().name == "fast"
+
+    def test_full_scale_matches_paper(self):
+        assert FULL.pdbbind_samples == 2492
+        assert FULL.epochs == 20
+        assert FULL.table2_samples == 1000
+        assert FULL.eval_epochs == (5, 10)
+
+    def test_fast_scale_is_smaller(self):
+        assert FAST.pdbbind_samples < FULL.pdbbind_samples
+        assert FAST.epochs < FULL.epochs
+
+
+class TestTable1:
+    def test_quantum_rows_match_paper_exactly(self):
+        result = run_table1()
+        for row in result.rows:
+            if row.model.startswith(("F-BQ", "H-BQ")):
+                assert row.matches_paper, row.model
+
+    def test_format_table_contains_all_models(self):
+        text = run_table1().format_table()
+        for model in PAPER_TABLE1:
+            assert model in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Table2Config(lsds=(18,), n_ligands=32, n_samples=12,
+                              epochs=1, sq_layers=1, batch_size=16, seed=0)
+        return run_table2(config)
+
+    def test_has_both_models(self, result):
+        models = {cell.model for cell in result.cells}
+        assert models == {"VAE", "SQ-VAE"}
+
+    def test_metrics_in_unit_interval(self, result):
+        for cell in result.cells:
+            for metric in (cell.qed, cell.logp, cell.sa):
+                assert 0.0 <= metric <= 1.0
+
+    def test_value_lookup(self, result):
+        assert result.value("VAE", "qed", 18) == result.cells[0].qed
+
+    def test_value_lookup_missing(self, result):
+        with pytest.raises(KeyError):
+            result.value("VAE", "qed", 96)
+
+    def test_format_table(self, result):
+        text = result.format_table()
+        assert "SQ-VAE-QED" in text and "LSD-18" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(Fig4Config(n_samples=32, epochs=2, batch_size=16,
+                                   bq_layers=1))
+
+    def test_all_curves_present(self, result):
+        expected = {f"{m}-{d}" for m in ("BQ-VAE", "CVAE")
+                    for d in ("QM9", "Digits")}
+        assert set(result.original_curves) == expected
+        assert set(result.normalized_curves) == expected
+
+    def test_curve_lengths(self, result):
+        for curve in result.original_curves.values():
+            assert len(curve) == 2
+
+    def test_normalized_quantum_loss_small(self, result):
+        assert result.normalized_curves["BQ-VAE-QM9"][-1] < 0.05
+
+    def test_panels_rendered(self, result):
+        assert "Input digits" in result.digit_panel
+        assert "Input molecule" in result.molecule_panel
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(Fig5Config(n_ligands=32, epochs=2, classical_epochs=2,
+                                   bq_layers=1, latent_sweep=(10, 32),
+                                   batch_size=16))
+
+    def test_curves(self, result):
+        assert set(result.curves) == {"F-BQ-AE 10D", "H-BQ-AE 10D", "AE 10D"}
+
+    def test_lsd_losses(self, result):
+        assert set(result.lsd_losses) == {"AE", "VAE"}
+        assert set(result.lsd_losses["AE"]) == {10, 32}
+
+    def test_format(self, result):
+        assert "LSD-32" in result.format_table()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(Fig6Config(depths=(1, 2), n_ligands=32, n_patches=2,
+                                   epochs=2, eval_epochs=(1, 2),
+                                   batch_size=16))
+
+    def test_rows(self, result):
+        assert set(result.losses) == {1, 2}
+        assert set(result.losses[1]) == {"train@1", "test@1", "train@2",
+                                         "test@2"}
+
+    def test_best_depth(self, result):
+        assert result.best_depth() in (1, 2)
+
+    def test_format(self, result):
+        assert "best depth" in result.format_table()
+
+    def test_bad_eval_epochs_raise(self):
+        with pytest.raises(ValueError):
+            run_fig6(Fig6Config(depths=(1,), n_ligands=16, epochs=2,
+                                eval_epochs=(1, 5)))
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(Fig7Config(quantum_lrs=(0.01, 0.1),
+                                   classical_lrs=(0.001, 0.1),
+                                   n_ligands=24, n_patches=2, n_layers=1,
+                                   epochs=1, batch_size=16))
+
+    def test_grid_complete(self, result):
+        assert len(result.losses) == 4
+
+    def test_grid_array(self, result):
+        grid = result.loss_grid()
+        assert grid.shape == (2, 2)
+        assert np.isfinite(grid).all()
+
+    def test_best_combination_is_member(self, result):
+        assert result.best_combination() in result.losses
+
+    def test_format(self, result):
+        assert "best:" in result.format_table()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(Fig8Config(n_ligands=32, n_images=16, epochs=2,
+                                   sq_layers=1, batch_size=16,
+                                   sq_lsds=(18,), vae_lsds=(16,),
+                                   render_samples=2))
+
+    def test_lsd_losses(self, result):
+        assert set(result.lsd_losses) == {"VAE", "SQ-VAE", "SQ-AE"}
+        assert 18 in result.lsd_losses["SQ-AE"]
+
+    def test_cifar_curves(self, result):
+        assert set(result.cifar_curves) == {"SQ-VAE", "CVAE", "SQ-AE", "CAE"}
+        for curve in result.cifar_curves.values():
+            assert len(curve) == 2
+
+    def test_panel(self, result):
+        assert "SQ-AE recon" in result.cifar_panel
+
+    def test_format(self, result):
+        text = result.format_table()
+        assert "Fig. 8(a)" in text and "Fig. 8(b)" in text
+
+
+class TestRunnerCli:
+    def test_table1_via_cli(self, capsys):
+        from repro.experiments.run import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.run import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,105 @@
+"""Tests for the scalable (patched) quantum autoencoders."""
+
+import numpy as np
+import pytest
+
+from repro.models import ScalableQuantumAE, ScalableQuantumVAE
+from repro.nn import Tensor, functional as F
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def ligand_like_batch(n=3, dim=64, seed=1):
+    """Sparse non-negative batch mimicking flattened molecule matrices."""
+    gen = np.random.default_rng(seed)
+    batch = np.zeros((n, dim))
+    for row in batch:
+        idx = gen.choice(dim, size=dim // 4, replace=False)
+        row[idx] = gen.integers(1, 5, size=idx.size)
+    return batch
+
+
+class TestArchitecture:
+    @pytest.mark.parametrize(
+        "patches,expected_lsd", [(2, 18), (4, 32), (8, 56), (16, 96)]
+    )
+    def test_paper_latent_dims_at_1024(self, patches, expected_lsd):
+        model = ScalableQuantumAE(input_dim=1024, n_patches=patches, n_layers=1,
+                                  rng=rng())
+        assert model.latent_dim == expected_lsd
+
+    def test_default_depth_is_five(self):
+        from repro.models import DEFAULT_SQ_LAYERS
+
+        assert DEFAULT_SQ_LAYERS == 5
+        assert ScalableQuantumAE(input_dim=64, n_patches=2, rng=rng()).n_layers == 5
+
+    def test_quantum_weight_count(self):
+        # p patches x 2 circuits x (3 * qubits * layers) rotation angles.
+        model = ScalableQuantumAE(input_dim=64, n_patches=2, n_layers=3, rng=rng())
+        counts = model.parameter_count_by_group()
+        qubits = model.qubits_per_patch
+        assert counts["quantum"] == 2 * 2 * 3 * qubits * 3
+
+    def test_rejects_bad_patch_split(self):
+        with pytest.raises(ValueError):
+            ScalableQuantumAE(input_dim=1024, n_patches=3, rng=rng())
+
+
+class TestForwardBackward:
+    def test_ae_shapes_small(self):
+        model = ScalableQuantumAE(input_dim=64, n_patches=4, n_layers=2, rng=rng())
+        x = Tensor(ligand_like_batch(dim=64))
+        out = model(x)
+        assert out.reconstruction.shape == (3, 64)
+        assert out.latent.shape == (3, model.latent_dim)
+
+    def test_vae_shapes_small(self):
+        model = ScalableQuantumVAE(input_dim=64, n_patches=4, n_layers=2, rng=rng())
+        out = model(Tensor(ligand_like_batch(dim=64)))
+        assert out.mu.shape == (3, model.latent_dim)
+        assert out.logvar.shape == (3, model.latent_dim)
+
+    def test_handles_zero_patches(self):
+        # A batch row whose second half is all zero: the empty patch must
+        # embed via the fallback rather than raising.
+        model = ScalableQuantumAE(input_dim=64, n_patches=2, n_layers=1, rng=rng())
+        x = np.zeros((1, 64))
+        x[0, :8] = 1.0  # only patch 0 is populated
+        out = model(Tensor(x))
+        assert np.all(np.isfinite(out.reconstruction.data))
+
+    def test_gradients_reach_all_parameters(self):
+        model = ScalableQuantumVAE(input_dim=64, n_patches=2, n_layers=1, rng=rng())
+        x = Tensor(ligand_like_batch(dim=64))
+        out = model(x)
+        loss = F.mse_loss(out.reconstruction, x) + F.gaussian_kl(out.mu, out.logvar)
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"no gradient for {name}"
+
+    def test_vae_sample_shape(self):
+        model = ScalableQuantumVAE(input_dim=64, n_patches=2, n_layers=1, rng=rng())
+        samples = model.sample(5, np.random.default_rng(2))
+        assert samples.shape == (5, 64)
+
+    def test_1024_forward(self):
+        model = ScalableQuantumAE(input_dim=1024, n_patches=16, n_layers=1, rng=rng())
+        x = Tensor(ligand_like_batch(n=2, dim=1024))
+        out = model(x)
+        assert out.reconstruction.shape == (2, 1024)
+
+    def test_training_reduces_loss(self):
+        from repro.data import ArrayDataset
+        from repro.training import TrainConfig, Trainer
+
+        data = ArrayDataset(ligand_like_batch(n=24, dim=64, seed=3))
+        model = ScalableQuantumAE(input_dim=64, n_patches=4, n_layers=1, rng=rng())
+        trainer = Trainer(
+            model, TrainConfig(epochs=10, batch_size=8, quantum_lr=0.03,
+                               classical_lr=0.01, seed=0)
+        )
+        history = trainer.fit(data)
+        assert history.train_losses[-1] < history.train_losses[0] * 0.85

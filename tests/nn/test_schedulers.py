@@ -1,0 +1,91 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    Parameter,
+    SGD,
+    StepLR,
+)
+
+
+def make_optimizer(lrs=(0.1,)):
+    groups = [
+        {"params": [Parameter(np.zeros(1))], "lr": lr} for lr in lrs
+    ]
+    return SGD(groups, lr=lrs[0])
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = make_optimizer()
+        scheduler = StepLR(opt, step_size=2, gamma=0.5)
+        observed = []
+        for _ in range(4):
+            scheduler.step()
+            observed.append(opt.param_groups[0]["lr"])
+        np.testing.assert_allclose(observed, [0.1, 0.05, 0.05, 0.025])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        opt = make_optimizer()
+        scheduler = ExponentialLR(opt, gamma=0.9)
+        scheduler.step()
+        scheduler.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.1 * 0.81)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        opt = make_optimizer()
+        scheduler = CosineAnnealingLR(opt, t_max=10)
+        assert scheduler.get_factor(0) == pytest.approx(1.0)
+        assert scheduler.get_factor(10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_midpoint(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=10)
+        assert scheduler.get_factor(5) == pytest.approx(0.5)
+
+    def test_eta_min_floor(self):
+        opt = make_optimizer()
+        scheduler = CosineAnnealingLR(opt, t_max=4, eta_min_factor=0.1)
+        for _ in range(4):
+            scheduler.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.1 * 0.1)
+
+    def test_clamps_past_t_max(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=3)
+        assert scheduler.get_factor(99) == scheduler.get_factor(3)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestHeterogeneousGroups:
+    def test_groups_keep_their_ratio(self):
+        opt = make_optimizer(lrs=(0.03, 0.01))
+        scheduler = ExponentialLR(opt, gamma=0.5)
+        scheduler.step()
+        lrs = scheduler.current_lrs()
+        assert lrs[0] == pytest.approx(0.015)
+        assert lrs[1] == pytest.approx(0.005)
+        assert lrs[0] / lrs[1] == pytest.approx(3.0)
+
+    def test_works_with_adam(self):
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.1)
+        scheduler = StepLR(opt, step_size=1, gamma=0.1)
+        param.grad = np.array([1.0])
+        opt.step()
+        scheduler.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.01)

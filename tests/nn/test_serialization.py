@@ -1,0 +1,97 @@
+"""Tests for npz checkpointing of modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    ReLU,
+    Sequential,
+    Tensor,
+    load_module,
+    module_fingerprint,
+    save_module,
+)
+
+
+def model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_outputs(self, tmp_path):
+        source = model(seed=1)
+        path = save_module(source, tmp_path / "ckpt")
+        target = model(seed=99)
+        load_module(target, path)
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save_module(model(), tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_metadata_roundtrip(self, tmp_path):
+        path = save_module(model(), tmp_path / "m", metadata={"epoch": 7,
+                                                              "loss": 0.5})
+        meta = load_module(model(), path)
+        assert meta == {"epoch": 7, "loss": 0.5}
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        save_module(model(), tmp_path / "m")
+        meta = load_module(model(), tmp_path / "m")
+        assert meta == {}
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = save_module(model(), tmp_path / "m")
+        wrong = Sequential(Linear(4, 9, rng=np.random.default_rng(0)))
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)
+
+    def test_quantum_model_roundtrip(self, tmp_path):
+        from repro.models import ScalableQuantumAE
+
+        source = ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                                   rng=np.random.default_rng(3))
+        path = save_module(source, tmp_path / "sq")
+        target = ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                                   rng=np.random.default_rng(77))
+        load_module(target, path)
+        assert module_fingerprint(source) == module_fingerprint(target)
+
+    def test_trained_model_roundtrip_preserves_samples(self, tmp_path):
+        from repro.models import ClassicalVAE
+
+        source = ClassicalVAE(input_dim=16, latent_dim=3, hidden_dims=(8,),
+                              rng=np.random.default_rng(4))
+        path = save_module(source, tmp_path / "vae")
+        target = ClassicalVAE(input_dim=16, latent_dim=3, hidden_dims=(8,),
+                              rng=np.random.default_rng(5))
+        load_module(target, path)
+        a = source.sample(3, np.random.default_rng(0))
+        b = target.sample(3, np.random.default_rng(0))
+        np.testing.assert_allclose(a, b)
+
+
+class TestFingerprint:
+    def test_identical_models_match(self):
+        assert module_fingerprint(model(seed=2)) == module_fingerprint(
+            model(seed=2)
+        )
+
+    def test_different_weights_differ(self):
+        assert module_fingerprint(model(seed=2)) != module_fingerprint(
+            model(seed=3)
+        )
+
+    def test_changes_after_training_step(self):
+        from repro.nn import Adam, functional as F
+
+        m = model(seed=6)
+        before = module_fingerprint(m)
+        opt = Adam(list(m.parameters()), lr=0.1)
+        F.mse_loss(m(Tensor(np.ones((1, 4)))), Tensor(np.zeros((1, 4)))).backward()
+        opt.step()
+        assert module_fingerprint(m) != before

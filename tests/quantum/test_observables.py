@@ -1,0 +1,138 @@
+"""Tests for Pauli-string expectation and variance measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import (
+    apply_gate,
+    expval_z,
+    gates,
+    pauli_string_expval,
+    pauli_string_variance,
+    rotate_to_z_basis,
+    zero_state,
+)
+
+
+def plus_state():
+    return apply_gate(zero_state(1), gates.HADAMARD, (0,))
+
+
+def bell_state():
+    state = apply_gate(zero_state(2), gates.HADAMARD, (0,))
+    return apply_gate(state, gates.CNOT, (0, 1))
+
+
+class TestExpectations:
+    def test_z_on_zero_state(self):
+        np.testing.assert_allclose(pauli_string_expval(zero_state(1), "Z"),
+                                   [1.0])
+
+    def test_x_on_plus_state(self):
+        np.testing.assert_allclose(pauli_string_expval(plus_state(), "X"),
+                                   [1.0], atol=1e-12)
+
+    def test_z_on_plus_state(self):
+        np.testing.assert_allclose(pauli_string_expval(plus_state(), "Z"),
+                                   [0.0], atol=1e-12)
+
+    def test_y_eigenstate(self):
+        # S H |0> = (|0> + i|1>)/sqrt(2) is the +1 eigenstate of Y.
+        s_gate = np.diag([1, 1j]).astype(np.complex128)
+        state = apply_gate(plus_state(), s_gate, (0,))
+        np.testing.assert_allclose(pauli_string_expval(state, "Y"), [1.0],
+                                   atol=1e-12)
+
+    def test_identity_string(self):
+        np.testing.assert_allclose(pauli_string_expval(bell_state(), "II"),
+                                   [1.0], atol=1e-12)
+
+    def test_bell_correlations(self):
+        # <ZZ> = <XX> = 1 and <ZI> = 0 on the Bell state.
+        bell = bell_state()
+        np.testing.assert_allclose(pauli_string_expval(bell, "ZZ"), [1.0],
+                                   atol=1e-12)
+        np.testing.assert_allclose(pauli_string_expval(bell, "XX"), [1.0],
+                                   atol=1e-12)
+        np.testing.assert_allclose(pauli_string_expval(bell, "ZI"), [0.0],
+                                   atol=1e-12)
+        np.testing.assert_allclose(pauli_string_expval(bell, "YY"), [-1.0],
+                                   atol=1e-12)
+
+    def test_single_z_matches_expval_z(self):
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))
+        state /= np.linalg.norm(state, axis=1, keepdims=True)
+        np.testing.assert_allclose(
+            pauli_string_expval(state, "ZII"), expval_z(state, (0,))[:, 0],
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            pauli_string_expval(state, "IIZ"), expval_z(state, (2,))[:, 0],
+            atol=1e-12,
+        )
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            pauli_string_expval(zero_state(2), "Z")
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(ValueError):
+            pauli_string_expval(zero_state(1), "Q")
+
+    def test_lowercase_accepted(self):
+        np.testing.assert_allclose(pauli_string_expval(zero_state(1), "z"),
+                                   [1.0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           letters=st.text(alphabet="IXYZ", min_size=3, max_size=3))
+    def test_expectation_bounded(self, seed, letters):
+        rng = np.random.default_rng(seed)
+        state = rng.normal(size=(2, 8)) + 1j * rng.normal(size=(2, 8))
+        state /= np.linalg.norm(state, axis=1, keepdims=True)
+        values = pauli_string_expval(state, letters)
+        assert np.all(np.abs(values) <= 1.0 + 1e-9)
+
+    def test_rotation_preserves_norm(self):
+        rng = np.random.default_rng(1)
+        state = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        state /= np.linalg.norm(state, axis=1, keepdims=True)
+        rotated = rotate_to_z_basis(state, "XYZ")
+        np.testing.assert_allclose(np.linalg.norm(rotated, axis=1),
+                                   np.ones(3), atol=1e-12)
+
+
+class TestVariances:
+    def test_eigenstate_has_zero_variance(self):
+        np.testing.assert_allclose(pauli_string_variance(zero_state(1), "Z"),
+                                   [0.0], atol=1e-12)
+
+    def test_maximal_variance_on_unbiased_state(self):
+        np.testing.assert_allclose(pauli_string_variance(plus_state(), "Z"),
+                                   [1.0], atol=1e-12)
+
+    def test_identity_has_zero_variance(self):
+        np.testing.assert_allclose(pauli_string_variance(bell_state(), "II"),
+                                   [0.0])
+
+    def test_variance_matches_sampling(self):
+        # Empirical variance of +-1 outcomes must approach 1 - <Z>^2.
+        from repro.quantum import sample_basis_states, z_signs
+
+        theta = 1.1
+        state = apply_gate(zero_state(1), gates.ry(theta), (0,))
+        analytic = pauli_string_variance(state, "Z")[0]
+        samples = sample_basis_states(state, 40_000, np.random.default_rng(2))
+        outcomes = z_signs(1)[0][samples[0]]
+        assert abs(outcomes.var() - analytic) < 0.02
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_variance_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        state = rng.normal(size=(2, 4)) + 1j * rng.normal(size=(2, 4))
+        state /= np.linalg.norm(state, axis=1, keepdims=True)
+        variance = pauli_string_variance(state, "XZ")
+        assert np.all((variance >= -1e-12) & (variance <= 1.0 + 1e-12))

@@ -1,0 +1,199 @@
+"""Tests for finite-shot sampling, noise trajectories, and the drawer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import (
+    Circuit,
+    NoiseModel,
+    apply_gate,
+    draw,
+    estimate_expval_z,
+    estimate_probabilities,
+    execute,
+    expval_z,
+    gates,
+    noisy_execute,
+    sample_basis_states,
+    shot_noise_std,
+    zero_state,
+)
+
+
+def plus_state(batch=1):
+    return apply_gate(zero_state(1, batch), gates.HADAMARD, (0,))
+
+
+class TestShotSampling:
+    def test_sample_shapes(self):
+        samples = sample_basis_states(plus_state(3), 100, np.random.default_rng(0))
+        assert samples.shape == (3, 100)
+        assert set(np.unique(samples)) <= {0, 1}
+
+    def test_sample_deterministic_state(self):
+        samples = sample_basis_states(zero_state(2), 50, np.random.default_rng(1))
+        assert (samples == 0).all()
+
+    def test_shots_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sample_basis_states(zero_state(1), 0, np.random.default_rng(0))
+
+    def test_expval_estimate_converges(self):
+        theta = 0.8
+        state = apply_gate(zero_state(1), gates.ry(theta), (0,))
+        estimate = estimate_expval_z(state, (0,), 40_000, np.random.default_rng(2))
+        np.testing.assert_allclose(estimate, [[np.cos(theta)]], atol=0.02)
+
+    def test_probability_estimate_converges(self):
+        state = plus_state()
+        estimate = estimate_probabilities(state, 40_000, np.random.default_rng(3))
+        np.testing.assert_allclose(estimate, [[0.5, 0.5]], atol=0.02)
+
+    def test_probability_estimate_normalized(self):
+        state = plus_state(2)
+        estimate = estimate_probabilities(state, 128, np.random.default_rng(4))
+        np.testing.assert_allclose(estimate.sum(axis=1), [1.0, 1.0])
+
+    def test_shot_noise_std_formula(self):
+        np.testing.assert_allclose(shot_noise_std(0.0, 100), 0.1)
+        np.testing.assert_allclose(shot_noise_std(1.0, 100), 0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), shots=st.sampled_from([64, 256]))
+    def test_estimates_within_statistical_error(self, seed, shots):
+        rng = np.random.default_rng(seed)
+        circuit = Circuit(3).strongly_entangling_layers(2).measure_expval()
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        outputs, cache = execute(circuit, None, weights)
+        estimate = estimate_expval_z(
+            cache.final_state, (0, 1, 2), shots, np.random.default_rng(seed + 1)
+        )
+        sigma = shot_noise_std(outputs, shots)
+        # 6-sigma bound: overwhelmingly unlikely to fail for a correct
+        # estimator, fails fast for a biased one.
+        assert np.all(np.abs(estimate - outputs) <= 6 * sigma + 1e-12)
+
+
+class TestNoise:
+    def test_noise_model_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(depolarizing=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(amplitude_damping=-0.1)
+
+    def test_noiseless_matches_exact(self):
+        circuit = Circuit(2).strongly_entangling_layers(1).measure_expval()
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        exact, __ = execute(circuit, None, weights, want_cache=False)
+        noisy = noisy_execute(circuit, None, weights, NoiseModel(), 1, rng)
+        np.testing.assert_allclose(noisy, exact, atol=1e-12)
+
+    def test_trajectories_must_be_positive(self):
+        circuit = Circuit(1).ry(0).measure_expval()
+        with pytest.raises(ValueError):
+            noisy_execute(circuit, None, np.zeros(1), NoiseModel(0.1), 0,
+                          np.random.default_rng(0))
+
+    def test_depolarizing_shrinks_expectation(self):
+        # Single RY(0) gate on |0>: ideal <Z> = 1.  One depolarizing step at
+        # rate p gives <Z> = 1 - 4p/3 (X/Y flip the sign, Z keeps it).
+        circuit = Circuit(1).ry(0).measure_expval()
+        weights = np.zeros(1)
+        p = 0.3
+        rng = np.random.default_rng(5)
+        outputs = noisy_execute(circuit, None, weights, NoiseModel(depolarizing=p),
+                                4000, rng)
+        np.testing.assert_allclose(outputs, [[1 - 4 * p / 3]], atol=0.05)
+
+    def test_strong_depolarizing_destroys_signal(self):
+        circuit = Circuit(2).strongly_entangling_layers(3).measure_expval()
+        rng = np.random.default_rng(6)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        exact, __ = execute(circuit, None, weights, want_cache=False)
+        noisy = noisy_execute(circuit, None, weights,
+                              NoiseModel(depolarizing=0.75), 800, rng)
+        assert np.abs(noisy).max() < np.abs(exact).max() + 0.1
+        assert np.abs(noisy).mean() < 0.2
+
+    def test_amplitude_damping_biases_toward_zero_state(self):
+        # X|0> = |1>, then full-rate damping: <Z> should rise toward +1.
+        circuit = Circuit(1).rx(0).measure_expval()
+        weights = np.array([np.pi])  # RX(pi)|0> ~ |1>
+        rng = np.random.default_rng(7)
+        outputs = noisy_execute(circuit, None, weights,
+                                NoiseModel(amplitude_damping=1.0), 200, rng)
+        assert outputs[0, 0] > 0.9
+
+    def test_noise_preserves_probability_normalization(self):
+        circuit = Circuit(3).strongly_entangling_layers(2).measure_probs()
+        rng = np.random.default_rng(8)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        outputs = noisy_execute(circuit, None, weights,
+                                NoiseModel(depolarizing=0.2,
+                                           amplitude_damping=0.1),
+                                50, rng)
+        np.testing.assert_allclose(outputs.sum(axis=1), [1.0], atol=1e-9)
+
+    def test_noise_with_amplitude_embedding(self):
+        circuit = (
+            Circuit(2)
+            .amplitude_embedding(4)
+            .strongly_entangling_layers(1)
+            .measure_expval()
+        )
+        rng = np.random.default_rng(9)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        x = np.abs(rng.normal(size=(3, 4))) + 0.1
+        outputs = noisy_execute(circuit, x, weights, NoiseModel(0.05), 20, rng)
+        assert outputs.shape == (3, 2)
+        assert np.all(np.abs(outputs) <= 1 + 1e-9)
+
+
+class TestDrawer:
+    def test_draws_all_wires(self):
+        circuit = Circuit(3).strongly_entangling_layers(1).measure_expval()
+        art = draw(circuit)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("0:")
+
+    def test_gate_labels_present(self):
+        circuit = Circuit(2).ry(0).cnot(0, 1).measure_expval()
+        art = draw(circuit)
+        assert "RY(w0)" in art
+        assert "o" in art and "x" in art
+        assert art.count("[Z]") == 2
+
+    def test_probs_measurement_marker(self):
+        art = draw(Circuit(1).rx(0).measure_probs())
+        assert "[P]" in art
+
+    def test_input_slots_labeled(self):
+        circuit = Circuit(2).angle_embedding(2).measure_expval()
+        art = draw(circuit)
+        assert "RY(x0)" in art and "RY(x1)" in art
+
+    def test_amplitude_header(self):
+        circuit = Circuit(2).amplitude_embedding(4).measure_probs()
+        assert "amplitude embedding of 4 features" in draw(circuit)
+
+    def test_truncation(self):
+        circuit = Circuit(1)
+        for _ in range(10):
+            circuit.rx(0)
+        art = draw(circuit, max_columns=3)
+        assert "..." in art
+        assert "w9" not in art
+
+    def test_crz_label(self):
+        art = draw(Circuit(2).crz(0, 1).measure_expval())
+        assert "RZ(w0)" in art
+
+    def test_vertical_connector(self):
+        # CNOT between wires 0 and 2 must draw a connector through wire 1.
+        circuit = Circuit(3).cnot(0, 2).measure_expval()
+        art = draw(circuit)
+        middle = art.splitlines()[1]
+        assert "|" in middle

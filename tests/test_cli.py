@@ -1,0 +1,107 @@
+"""Tests for the top-level command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestTrain:
+    def test_train_classical_vae(self, tmp_path, capsys):
+        out = tmp_path / "vae.npz"
+        code = main([
+            "train", "--model", "vae", "--dataset", "qm9",
+            "--samples", "32", "--epochs", "1", "--batch-size", "16",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        output = capsys.readouterr().out
+        assert "epoch 1" in output and "checkpoint written" in output
+
+    def test_train_sq_ae_without_checkpoint(self, capsys):
+        code = main([
+            "train", "--model", "sq-ae", "--dataset", "qm9",
+            "--samples", "24", "--epochs", "1", "--batch-size", "16",
+            "--patches", "2", "--layers", "1",
+        ])
+        assert code == 0
+        assert "checkpoint" not in capsys.readouterr().out
+
+    def test_train_fbq_with_normalize(self, capsys):
+        code = main([
+            "train", "--model", "f-bq-vae", "--dataset", "qm9",
+            "--samples", "24", "--epochs", "1", "--batch-size", "16",
+            "--layers", "1", "--normalize",
+        ])
+        assert code == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "gan", "--dataset", "qm9"])
+
+
+class TestSample:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ckpt") / "vae.npz"
+        main([
+            "train", "--model", "vae", "--dataset", "qm9",
+            "--samples", "48", "--epochs", "3", "--batch-size", "16",
+            "--warm-start-bias", "--out", str(path),
+        ])
+        return path
+
+    def test_sample_prints_molecules(self, checkpoint, capsys):
+        code = main(["sample", "--checkpoint", str(checkpoint),
+                     "--count", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "QED" in output
+        assert "samples decoded" in output
+
+    def test_sample_is_seeded(self, checkpoint, capsys):
+        main(["sample", "--checkpoint", str(checkpoint), "--count", "3",
+              "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["sample", "--checkpoint", str(checkpoint), "--count", "3",
+              "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_vanilla_ae_cannot_sample(self, tmp_path, capsys):
+        path = tmp_path / "ae.npz"
+        main(["train", "--model", "ae", "--dataset", "qm9", "--samples", "24",
+              "--epochs", "1", "--batch-size", "16", "--out", str(path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["sample", "--checkpoint", str(path)])
+
+
+class TestStatsAndDraw:
+    def test_stats_qm9(self, capsys):
+        assert main(["stats", "--dataset", "qm9", "--samples", "32"]) == 0
+        assert "sparsity" in capsys.readouterr().out
+
+    def test_stats_rejects_image_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--dataset", "cifar"])
+
+    def test_draw_fbq_encoder(self, capsys):
+        assert main(["draw", "--model", "f-bq-ae"]) == 0
+        output = capsys.readouterr().out
+        assert "amplitude embedding" in output
+        assert "RZ(w0)" in output
+
+    def test_draw_sq_patch(self, capsys):
+        assert main(["draw", "--model", "sq-ae", "--patches", "2",
+                     "--layers", "1"]) == 0
+        assert "0:" in capsys.readouterr().out
+
+    def test_draw_classical_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["draw", "--model", "ae"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

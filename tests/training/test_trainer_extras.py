@@ -1,0 +1,118 @@
+"""Tests for gradient clipping, early stopping, and dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, dataset_statistics, load_pdbbind_ligands, load_qm9
+from repro.models import ClassicalAE
+from repro.nn import Parameter
+from repro.training import TrainConfig, Trainer
+from repro.training.trainer import clip_grad_norm
+
+
+def toy_data(n=40, dim=16, seed=0):
+    gen = np.random.default_rng(seed)
+    base = gen.normal(size=(4, dim))
+    return ArrayDataset(gen.normal(size=(n, 4)) @ base)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.1, 0.2, 0.2])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.3)
+        np.testing.assert_allclose(p.grad, [0.1, 0.2, 0.2])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-6)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_skips_gradless_params(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestTrainerExtras:
+    def test_clipping_config_trains(self):
+        data = toy_data()
+        model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                            rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=5, batch_size=8, classical_lr=0.01,
+                             max_grad_norm=0.5)
+        history = Trainer(model, config).fit(data)
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_early_stopping_halts(self):
+        train = toy_data(seed=1)
+        test = toy_data(seed=2)
+
+        class Frozen(ClassicalAE):
+            """Test-loss plateau by construction: encode/decode constants."""
+
+            def decode(self, z):
+                return super().decode(z) * 0.0
+
+        model = Frozen(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                       rng=np.random.default_rng(3))
+        config = TrainConfig(epochs=50, batch_size=8,
+                             early_stop_patience=3)
+        history = Trainer(model, config).fit(train, test_data=test)
+        assert len(history.epochs) < 50
+
+    def test_early_stopping_needs_test_data(self):
+        # Without test data the patience setting is inert, not an error.
+        data = toy_data(seed=3)
+        model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                            rng=np.random.default_rng(4))
+        config = TrainConfig(epochs=3, batch_size=8, early_stop_patience=1)
+        history = Trainer(model, config).fit(data)
+        assert len(history.epochs) == 3
+
+
+class TestDatasetStatistics:
+    def test_qm9_statistics(self):
+        stats = dataset_statistics(load_qm9(n_samples=64, seed=0))
+        assert stats.n_samples == 64
+        assert stats.matrix_size == 8
+        assert stats.heavy_atoms_max <= 8
+        fractions = stats.atom_fractions()
+        assert fractions["C"] > 0.5  # carbon-dominated, like QM9
+        assert "S" not in fractions
+
+    def test_pdbbind_statistics(self):
+        stats = dataset_statistics(load_pdbbind_ligands(n_samples=24, seed=0))
+        assert stats.matrix_size == 32
+        assert stats.heavy_atoms_max <= 32
+        assert stats.sparsity > 0.8  # 32x32 ligand matrices are sparse
+        assert "single" in stats.bond_fractions()
+
+    def test_fractions_sum_to_one(self):
+        stats = dataset_statistics(load_qm9(n_samples=16, seed=1))
+        assert sum(stats.atom_fractions().values()) == pytest.approx(1.0)
+        assert sum(stats.bond_fractions().values()) == pytest.approx(1.0)
+
+    def test_requires_raw(self):
+        with pytest.raises(ValueError):
+            dataset_statistics(ArrayDataset(np.zeros((4, 16))))
+
+    def test_format_table(self):
+        stats = dataset_statistics(load_qm9(n_samples=8, seed=2))
+        text = stats.format_table()
+        assert "sparsity" in text and "atom C" in text
