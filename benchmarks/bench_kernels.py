@@ -15,8 +15,11 @@ from repro.qnn import PatchedQuantumLayer, amplitude_encoder_circuit
 from repro.quantum import (
     Circuit,
     backward,
+    compile_circuit,
     execute,
     gates,
+    naive_backward,
+    naive_execute,
     parameter_shift_gradients,
     apply_gate,
     zero_state,
@@ -56,6 +59,22 @@ def bench_circuit_forward_8q_5layers(benchmark):
     assert out.shape == (32, 8)
 
 
+def bench_circuit_forward_8q_5layers_naive(benchmark):
+    """The same forward pass on the op-by-op reference interpreter.
+
+    This is the pre-compilation baseline the compiled engine's speedup is
+    measured against (see ``run_kernels.py``, which records the ratio).
+    """
+    circuit = _sel_circuit()
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    out, __ = benchmark(
+        lambda: naive_execute(circuit, inputs, weights, want_cache=False)
+    )
+    assert out.shape == (32, 8)
+
+
 def bench_adjoint_backward_8q_5layers(benchmark):
     """Adjoint gradient of one SQ encoder patch (vs. parameter-shift below)."""
     circuit = _sel_circuit()
@@ -66,6 +85,25 @@ def bench_adjoint_backward_8q_5layers(benchmark):
     grad_out = rng.normal(size=outputs.shape)
     grad_in, grad_w = benchmark(lambda: backward(cache, grad_out))
     assert grad_w.shape == (circuit.n_weights,)
+
+
+def bench_adjoint_backward_8q_5layers_naive(benchmark):
+    """The same adjoint gradient on the op-by-op reference interpreter."""
+    circuit = _sel_circuit()
+    rng = np.random.default_rng(1)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    outputs, cache = naive_execute(circuit, inputs, weights)
+    grad_out = rng.normal(size=outputs.shape)
+    grad_in, grad_w = benchmark(lambda: naive_backward(cache, grad_out))
+    assert grad_w.shape == (circuit.n_weights,)
+
+
+def bench_compile_plan_8q_5layers(benchmark):
+    """Cold-compile cost of the SQ encoder patch plan (paid once per shape)."""
+    circuit = _sel_circuit()
+    plan = benchmark(lambda: compile_circuit(circuit))
+    assert plan.n_instructions < len(circuit.ops)
 
 
 def bench_parameter_shift_4q_2layers(benchmark):

@@ -1,0 +1,145 @@
+"""Benchmark-regression runner: time bench_kernels.py, write BENCH_kernels.json.
+
+The kernel micro-benchmarks in :mod:`bench_kernels` are written against the
+pytest-benchmark fixture API, but tracking a perf trajectory across PRs needs
+a dependency-free, scriptable entry point.  This runner calls every
+``bench_*`` function with a minimal fixture shim (warmup + min-of-rounds
+timing), derives compiled-vs-naive speedups for the benchmark pairs that have
+a ``*_naive`` baseline, and writes everything to ``BENCH_kernels.json`` at
+the repo root — the file future PRs diff against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_kernels.py [--only SUBSTR]
+        [--rounds N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+_NAIVE_SUFFIX = "_naive"
+
+
+class TimerShim:
+    """Duck-types the pytest-benchmark fixture: ``benchmark(fn)`` and
+    ``benchmark.pedantic(fn, ...)``.  Times min/mean over ``rounds`` calls
+    after one warmup (the warmup also absorbs one-time plan compilation, so
+    steady-state kernel cost is what gets recorded)."""
+
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+        self.stats: dict[str, float] | None = None
+
+    def __call__(self, fn):
+        result = fn()  # warmup
+        times = []
+        for _ in range(self.rounds):
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+        self.stats = {
+            "min_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "max_s": max(times),
+            "rounds": self.rounds,
+        }
+        return result
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1,
+                 warmup_rounds=0):
+        kwargs = kwargs or {}
+        for _ in range(warmup_rounds):
+            fn(*args, **kwargs)
+        times = []
+        result = None
+        for _ in range(max(rounds, 1)):
+            start = time.perf_counter()
+            for _ in range(max(iterations, 1)):
+                result = fn(*args, **kwargs)
+            times.append((time.perf_counter() - start) / max(iterations, 1))
+        self.stats = {
+            "min_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "max_s": max(times),
+            "rounds": rounds,
+        }
+        return result
+
+
+def discover(only: str | None):
+    import bench_kernels
+
+    benches = []
+    for name, fn in inspect.getmembers(bench_kernels, inspect.isfunction):
+        if not name.startswith("bench_"):
+            continue
+        if only and only not in name:
+            continue
+        params = inspect.signature(fn).parameters
+        if list(params) != ["benchmark"]:
+            continue
+        benches.append((name, fn))
+    return sorted(benches)
+
+
+def speedups(results: dict) -> dict:
+    """naive-time / compiled-time for every ``<name>`` / ``<name>_naive`` pair."""
+    out = {}
+    for name, stats in results.items():
+        baseline = results.get(name + _NAIVE_SUFFIX)
+        if baseline:
+            out[name] = round(baseline["min_s"] / stats["min_s"], 3)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", help="substring filter on benchmark names")
+    parser.add_argument("--rounds", type=int, default=15,
+                        help="timed rounds per benchmark (default 15)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_kernels.json")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+
+    benches = discover(args.only)
+    if not benches:
+        print(f"no benchmarks match --only {args.only!r}; not writing output",
+              file=sys.stderr)
+        return 1
+
+    results: dict[str, dict] = {}
+    for name, fn in benches:
+        shim = TimerShim(args.rounds)
+        fn(shim)
+        results[name] = shim.stats
+        print(f"{name:48s} min {shim.stats['min_s'] * 1e3:10.3f} ms  "
+              f"mean {shim.stats['mean_s'] * 1e3:10.3f} ms", file=sys.stderr)
+
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rounds": args.rounds,
+        "benchmarks": results,
+        "speedup_vs_naive": speedups(results),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,10 @@ class PatchedQuantumLayer(Module):
             raise ValueError("need at least one patch")
         rng = rng if rng is not None else np.random.default_rng(0)
         self.n_patches = n_patches
+        # Each QuantumLayer compiles its circuit at construction; structurally
+        # identical patch circuits (the common case: one factory with
+        # per-patch weights) dedupe to a single shared plan in the engine's
+        # structural cache, so p patches pay compilation once.
         self.patches = ModuleList(
             QuantumLayer(circuit_factory(i), rng=rng, init_scale=init_scale)
             for i in range(n_patches)

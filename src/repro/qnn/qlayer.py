@@ -15,6 +15,7 @@ from ..nn.tensor import Tensor, is_grad_enabled
 from ..quantum.autodiff import backward as q_backward
 from ..quantum.autodiff import execute as q_execute
 from ..quantum.circuit import Circuit
+from ..quantum.engine import compiled_plan
 
 __all__ = ["QuantumLayer"]
 
@@ -45,6 +46,9 @@ class QuantumLayer(Module):
         if circuit.measurement is None:
             raise ValueError("QuantumLayer requires a measured circuit")
         self.circuit = circuit
+        # Pay plan compilation at construction; every forward/backward then
+        # binds and runs the cached program.
+        compiled_plan(circuit)
         rng = rng if rng is not None else np.random.default_rng(0)
         self.weights = Parameter(
             rng.uniform(-init_scale, init_scale, size=circuit.n_weights),

@@ -9,12 +9,51 @@ This package replaces PennyLane for the reproduction.  Public surface::
                .measure_expval())
     outputs, cache = execute(circuit, inputs, weights)
     grad_in, grad_w = backward(cache, grad_outputs)
+
+Execution is a compile/bind/run pipeline (:mod:`repro.quantum.engine`):
+
+1. **Compile** — the circuit template is lowered once into a
+   :class:`~repro.quantum.engine.CompiledPlan`: runs of single-qubit gates on
+   the same wire (adjacent modulo gates on disjoint wires, which commute) are
+   fused into one 2x2 instruction — the SEL ``Rot = RZ.RY.RZ`` triple becomes
+   a single fused gate — and every instruction is lowered to a specialized
+   kernel.  The plan is cached on the :class:`~repro.quantum.circuit.Circuit`
+   and reused until its structure changes, so hybrid layers pay compilation
+   once, not per batch.
+2. **Bind** — each :func:`execute` call resolves the plan against the current
+   weights/inputs: fused 2x2 matrices are rebuilt (bulk-vectorized across all
+   weight-only runs sharing a gate signature), diagonal gates become phase
+   vectors, and — when a backward pass will follow — effective generators
+   ``S G S^dagger`` are prepared so adjoint gradients stay exact through the
+   fusion.
+3. **Run** — kernels execute in order: dense single-qubit matrices via a
+   fixed ``(batch, left, 2, right)`` reshape, diagonal gates (RZ/CZ/CRZ/Z) as
+   elementwise phase multiplies over precomputed basis-index masks, and
+   permutation gates (CNOT/X/SWAP) as precomputed index gathers.  The adjoint
+   :func:`backward` walks the same bound program in reverse with daggered
+   kernels.
+
+Kernel specialization rules: a lone RZ lowers to a diagonal phase multiply, a
+lone Z/CZ to an index-mask sign flip, a lone X/CNOT/SWAP to an index gather,
+CRZ to phase multiplies on its |10>/|11> index sets, and everything else —
+including every fused run of length > 1 — to the dense single-qubit kernel.
+The pre-compilation op-by-op interpreter survives as ``naive_execute`` /
+``naive_backward``, the reference implementation that the compiled engine is
+property-tested against and benchmarked from.
 """
 
 from . import gates
-from .autodiff import ExecutionCache, backward, execute, prepare_amplitude_state
+from .autodiff import (
+    ExecutionCache,
+    backward,
+    execute,
+    naive_backward,
+    naive_execute,
+    prepare_amplitude_state,
+)
 from .circuit import Circuit, Operation, sel_weight_count
 from .drawer import draw
+from .engine import CompiledPlan, compile_circuit, compiled_plan
 from .noise import NoiseModel, noisy_execute
 from .observables import (
     pauli_string_expval,
@@ -46,8 +85,13 @@ __all__ = [
     "sel_weight_count",
     "execute",
     "backward",
+    "naive_execute",
+    "naive_backward",
     "ExecutionCache",
     "prepare_amplitude_state",
+    "CompiledPlan",
+    "compile_circuit",
+    "compiled_plan",
     "parameter_shift_gradients",
     "parameter_shift_jacobian",
     "apply_gate",

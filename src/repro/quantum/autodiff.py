@@ -13,6 +13,14 @@ and costs O(#gates) state applications — the same trick PennyLane's
 ``adjoint`` differentiation uses, and it is property-tested against the
 parameter-shift rule in :mod:`repro.quantum.shift`.
 
+Both :func:`execute` and :func:`backward` run on the circuit's compiled plan
+(:mod:`repro.quantum.engine`): single-qubit runs are fused, diagonal and
+permutation gates dispatch to specialized kernels, and the lowered program is
+cached on the circuit.  The original op-by-op interpreter is kept as
+:func:`naive_execute` / :func:`naive_backward` — it is the reference the
+compiled engine is property-tested against, and the baseline the kernel
+benchmarks measure speedups from.
+
 Both measurement types the paper uses are diagonal in the computational
 basis (Pauli-Z expectations and basis probabilities), so the cotangent seed
 is ``lambda = v * psi`` with ``v`` the gradient with respect to ``|psi_j|^2``.
@@ -26,21 +34,48 @@ import numpy as np
 
 from . import gates as G
 from .circuit import Circuit, Operation
-from .state import apply_gate, num_wires, probabilities, z_signs, zero_state
+from .engine import CompiledPlan, compiled_plan
+from .state import (
+    apply_gate,
+    expval_z,
+    num_wires,
+    probabilities,
+    z_signs,
+    zero_state,
+)
 
-__all__ = ["ExecutionCache", "execute", "backward", "prepare_amplitude_state"]
+__all__ = [
+    "ExecutionCache",
+    "execute",
+    "backward",
+    "naive_execute",
+    "naive_backward",
+    "prepare_amplitude_state",
+]
 
 
 @dataclass
 class ExecutionCache:
-    """Everything the backward pass needs from a forward execution."""
+    """Everything the backward pass needs from a forward execution.
+
+    ``plan``/``bound`` are set by the compiled engine; ``gate_matrices`` by
+    the naive interpreter (exactly one of the two walks is replayed in
+    reverse by :func:`backward`).  ``embedded``/``norms``/``zero_rows`` carry
+    the amplitude-embedded initial state so the backward pass never
+    recomputes the embedding.
+    """
 
     circuit: Circuit
     final_state: np.ndarray  # (batch, 2**n)
-    gate_matrices: list[np.ndarray]  # per op, (2**k, 2**k) or (batch, 2**k, 2**k)
     inputs: np.ndarray | None  # (batch, n_inputs)
     weights: np.ndarray  # (n_weights,)
     batch: int
+    plan: CompiledPlan | None = None
+    bound: list | None = None
+    gate_matrices: list[np.ndarray] | None = None  # naive path only
+    embedded: np.ndarray | None = None  # (batch, 2**n) amplitude-embedded state
+    norms: np.ndarray | None = None  # (batch,) embedding norms
+    zero_rows: np.ndarray | None = None  # (batch,) bool, zero-fallback rows
 
 
 def prepare_amplitude_state(
@@ -54,6 +89,14 @@ def prepare_amplitude_state(
     gradients).  All-zero samples raise unless ``zero_fallback`` is set, in
     which case they embed as |0...0> with zero gradient.
     """
+    state, norms, _zero_rows = _prepare_amplitude(features, n_wires, zero_fallback)
+    return state, norms
+
+
+def _prepare_amplitude(
+    features: np.ndarray, n_wires: int, zero_fallback: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`prepare_amplitude_state` but also returns the zero mask."""
     batch, d = features.shape
     dim = 2**n_wires
     padded = np.zeros((batch, dim), dtype=np.float64)
@@ -66,7 +109,7 @@ def prepare_amplitude_state(
         padded[zero_rows, 0] = 1.0
         norms = np.where(zero_rows, 1.0, norms)
     state = (padded / norms[:, None]).astype(np.complex128)
-    return state, norms
+    return state, norms, zero_rows
 
 
 def _gate_matrix(
@@ -84,30 +127,15 @@ def _gate_matrix(
     return G.PARAMETRIC_GATES[op.name](theta)
 
 
-def execute(
-    circuit: Circuit,
-    inputs: np.ndarray | None,
-    weights: np.ndarray,
-    want_cache: bool = True,
-) -> tuple[np.ndarray, ExecutionCache | None]:
-    """Run the circuit on a batch.
+def _validate_and_prepare(
+    circuit: Circuit, inputs: np.ndarray | None, weights: np.ndarray
+):
+    """Shared entry checks; returns (inputs, weights, batch, state, embedding).
 
-    Parameters
-    ----------
-    circuit:
-        A built :class:`~repro.quantum.circuit.Circuit` with a measurement.
-    inputs:
-        ``(batch, n_inputs)`` features for embeddings, or None for a pure
-        weight circuit (then batch = 1).
-    weights:
-        Flat ``(n_weights,)`` trainable angles.
-
-    Returns
-    -------
-    outputs:
-        ``(batch, output_dim)`` real measurement results.
-    cache:
-        Pass to :func:`backward`, or None when ``want_cache=False``.
+    ``embedding`` is ``(embedded, norms, zero_rows)`` for amplitude-prepared
+    circuits and ``(None, None, None)`` otherwise; ``state`` is a fresh array
+    the caller may mutate (for amplitude prep it *is* ``embedded``, so cache
+    holders must copy before mutating).
     """
     if circuit.measurement is None:
         raise ValueError("circuit has no measurement; call measure_* first")
@@ -131,32 +159,146 @@ def execute(
 
     if circuit.state_prep is not None:
         __, n_features, zero_fallback = circuit.state_prep
-        state, _norms = prepare_amplitude_state(
+        state, norms, zero_rows = _prepare_amplitude(
             inputs[:, :n_features], circuit.n_wires, zero_fallback
         )
+        embedding = (state, norms, zero_rows)
     else:
         state = zero_state(circuit.n_wires, batch)
+        embedding = (None, None, None)
+    return inputs, weights, batch, state, embedding
 
+
+def _measure(circuit: Circuit, state: np.ndarray) -> np.ndarray:
+    kind, wires = circuit.measurement
+    if kind == "expval":
+        return expval_z(state, wires)
+    return probabilities(state)
+
+
+def execute(
+    circuit: Circuit,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    want_cache: bool = True,
+) -> tuple[np.ndarray, ExecutionCache | None]:
+    """Run the circuit on a batch via its compiled plan.
+
+    Parameters
+    ----------
+    circuit:
+        A built :class:`~repro.quantum.circuit.Circuit` with a measurement.
+        Its compiled plan is cached on the instance and reused across calls.
+    inputs:
+        ``(batch, n_inputs)`` features for embeddings, or None for a pure
+        weight circuit (then batch = 1).
+    weights:
+        Flat ``(n_weights,)`` trainable angles.
+
+    Returns
+    -------
+    outputs:
+        ``(batch, output_dim)`` real measurement results.
+    cache:
+        Pass to :func:`backward`, or None when ``want_cache=False``.
+    """
+    inputs, weights, batch, state, embedding = _validate_and_prepare(
+        circuit, inputs, weights
+    )
+    embedded, norms, zero_rows = embedding
+    plan = compiled_plan(circuit)
+    if want_cache and embedded is not None:
+        state = state.copy()  # keep the pristine embedded state for backward
+    bound = plan.bind(inputs, weights, with_grads=want_cache)
+    state = plan.run(state, bound)
+    outputs = _measure(circuit, state)
+    if not want_cache:
+        return outputs, None
+    cache = ExecutionCache(
+        circuit,
+        state,
+        inputs,
+        weights,
+        batch,
+        plan=plan,
+        bound=bound,
+        embedded=embedded,
+        norms=norms,
+        zero_rows=zero_rows,
+    )
+    return outputs, cache
+
+
+def naive_execute(
+    circuit: Circuit,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    want_cache: bool = True,
+) -> tuple[np.ndarray, ExecutionCache | None]:
+    """Reference interpreter: apply every op through the generic kernel.
+
+    Kept as the ground truth the compiled engine is tested against and the
+    baseline the kernel benchmarks report speedups from.  Same signature and
+    semantics as :func:`execute`.
+    """
+    inputs, weights, batch, state, embedding = _validate_and_prepare(
+        circuit, inputs, weights
+    )
+    embedded, norms, zero_rows = embedding
     matrices: list[np.ndarray] = []
     for op in circuit.ops:
         gate = _gate_matrix(op, inputs, weights)
         state = apply_gate(state, gate, op.wires)
         if want_cache:
             matrices.append(gate)
+    outputs = _measure(circuit, state)
+    if not want_cache:
+        return outputs, None
+    cache = ExecutionCache(
+        circuit,
+        state,
+        inputs,
+        weights,
+        batch,
+        gate_matrices=matrices,
+        embedded=embedded,
+        norms=norms,
+        zero_rows=zero_rows,
+    )
+    return outputs, cache
 
+
+def _seed_cotangent(
+    cache: ExecutionCache, grad_outputs: np.ndarray
+) -> np.ndarray:
+    """The cotangent ``dL/dpsi*`` at the final state."""
+    circuit = cache.circuit
+    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
     kind, wires = circuit.measurement
     if kind == "expval":
         signs = z_signs(circuit.n_wires)
-        outputs = probabilities(state) @ signs[list(wires)].T
+        v = grad_outputs @ signs[list(wires)]  # (batch, 2**n)
     else:
-        outputs = probabilities(state)
+        v = grad_outputs
+    return v * cache.final_state
 
-    cache = (
-        ExecutionCache(circuit, state, matrices, inputs, weights, batch)
-        if want_cache
-        else None
-    )
-    return outputs, cache
+
+def _amplitude_input_grads(
+    cache: ExecutionCache, lam: np.ndarray, grad_inputs: np.ndarray | None
+) -> None:
+    """Chain the cotangent at the initial state through amplitude embedding."""
+    circuit = cache.circuit
+    if circuit.state_prep is None or grad_inputs is None:
+        return
+    __, n_features, zero_fallback = circuit.state_prep
+    psi0 = cache.embedded.real  # amplitude-embedded states are real
+    # dL/dx = (2 Re(lambda_0) - 2 Re(lambda_0 . psi_0) psi_0) / ||x||
+    lam_real = 2.0 * np.real(lam)
+    radial = np.einsum("bj,bj->b", lam_real, psi0)
+    grad_full = (lam_real - radial[:, None] * psi0) / cache.norms[:, None]
+    if zero_fallback:
+        grad_full[cache.zero_rows] = 0.0
+    grad_inputs[:, :n_features] += grad_full[:, :n_features]
 
 
 def backward(
@@ -164,10 +306,14 @@ def backward(
 ) -> tuple[np.ndarray | None, np.ndarray]:
     """Vector-Jacobian product of a cached execution.
 
+    Dispatches on how the cache was produced: compiled caches replay the
+    fused plan in reverse with daggered kernels; naive caches replay the op
+    list.  Both give exact gradients.
+
     Parameters
     ----------
     cache:
-        Result of :func:`execute`.
+        Result of :func:`execute` (or :func:`naive_execute`).
     grad_outputs:
         ``(batch, output_dim)`` upstream gradient.
 
@@ -178,18 +324,36 @@ def backward(
     grad_weights:
         ``(n_weights,)`` summed over the batch.
     """
+    if cache.plan is None:
+        return naive_backward(cache, grad_outputs)
     circuit = cache.circuit
-    state = cache.final_state
-    n = num_wires(state)
-    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
+    lam = _seed_cotangent(cache, grad_outputs)
+    psi = cache.final_state.copy()
+    grad_weights = np.zeros(circuit.n_weights, dtype=np.float64)
+    grad_inputs = (
+        np.zeros((cache.batch, circuit.n_inputs), dtype=np.float64)
+        if circuit.n_inputs
+        else None
+    )
+    for instr, data in zip(
+        reversed(cache.plan.instructions), reversed(cache.bound)
+    ):
+        psi, lam = instr.grad_and_unapply(
+            psi, lam, data, grad_weights, grad_inputs
+        )
+    _amplitude_input_grads(cache, lam, grad_inputs)
+    return grad_inputs, grad_weights
 
-    kind, wires = circuit.measurement
-    if kind == "expval":
-        signs = z_signs(n)
-        v = grad_outputs @ signs[list(wires)]  # (batch, 2**n)
-    else:
-        v = grad_outputs
-    lam = v * state  # dL/dpsi*
+
+def naive_backward(
+    cache: ExecutionCache, grad_outputs: np.ndarray
+) -> tuple[np.ndarray | None, np.ndarray]:
+    """Reference adjoint walk over a :func:`naive_execute` cache."""
+    if cache.gate_matrices is None:
+        raise ValueError("cache was not produced by naive_execute")
+    circuit = cache.circuit
+    lam = _seed_cotangent(cache, grad_outputs)
+    n = num_wires(cache.final_state)
 
     grad_weights = np.zeros(circuit.n_weights, dtype=np.float64)
     grad_inputs = (
@@ -198,7 +362,7 @@ def backward(
         else None
     )
 
-    psi = state
+    psi = cache.final_state
     for op, gate in zip(reversed(circuit.ops), reversed(cache.gate_matrices)):
         if op.source is not None:
             gen = G.generator(op.name)
@@ -214,18 +378,5 @@ def backward(
         psi = apply_gate(psi, gate_dag, op.wires)
         lam = apply_gate(lam, gate_dag, op.wires)
 
-    if circuit.state_prep is not None and grad_inputs is not None:
-        __, n_features, zero_fallback = circuit.state_prep
-        features = cache.inputs[:, :n_features]
-        _state0, norms = prepare_amplitude_state(features, n, zero_fallback)
-        psi0 = np.real(_state0)  # amplitude-embedded states are real
-        # dL/dx = (2 Re(lambda_0) - 2 Re(lambda_0 . psi_0) psi_0) / ||x||
-        lam_real = 2.0 * np.real(lam)
-        radial = np.einsum("bj,bj->b", lam_real, psi0)
-        grad_full = (lam_real - radial[:, None] * psi0) / norms[:, None]
-        if zero_fallback:
-            zero_rows = np.linalg.norm(features, axis=1) < 1e-300
-            grad_full[zero_rows] = 0.0
-        grad_inputs[:, :n_features] += grad_full[:, :n_features]
-
+    _amplitude_input_grads(cache, lam, grad_inputs)
     return grad_inputs, grad_weights

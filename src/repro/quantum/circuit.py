@@ -174,6 +174,18 @@ class Circuit:
         self.ops.append(Operation("X", (wire,)))
         return self
 
+    def y(self, wire: int) -> "Circuit":
+        self.ops.append(Operation("Y", (wire,)))
+        return self
+
+    def z(self, wire: int) -> "Circuit":
+        self.ops.append(Operation("Z", (wire,)))
+        return self
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        self.ops.append(Operation("SWAP", (a, b)))
+        return self
+
     # ------------------------------------------------------------------
     # Templates
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ __all__ = [
     "generator",
     "PARAMETRIC_GATES",
     "FIXED_GATES",
+    "GENERATORS",
 ]
 
 I2 = np.eye(2, dtype=np.complex128)
@@ -122,7 +123,9 @@ FIXED_GATES = {
     "Z": PAULI_Z,
 }
 
-_GENERATORS = {
+# Public so the compiled engine (repro.quantum.engine) can map generators
+# through gate fusion without keeping its own copy of this table.
+GENERATORS = {
     "RX": PAULI_X,
     "RY": PAULI_Y,
     "RZ": PAULI_Z,
@@ -133,6 +136,6 @@ _GENERATORS = {
 def generator(name: str) -> np.ndarray:
     """Return ``G`` with ``dU/dtheta = -i/2 G U`` for a parametric gate."""
     try:
-        return _GENERATORS[name]
+        return GENERATORS[name]
     except KeyError:
         raise KeyError(f"gate {name!r} has no generator (not parametric)") from None

@@ -97,10 +97,8 @@ def expval_z(state: np.ndarray, wires: Sequence[int]) -> np.ndarray:
     This is the measurement the paper uses for encoder outputs (latent
     variables) and for SQ decoder outputs.
     """
-    n = num_wires(state)
-    weights = probabilities(state)
-    signs = z_signs(n)
-    return np.stack([weights @ signs[w] for w in wires], axis=1)
+    signs = z_signs(num_wires(state))
+    return probabilities(state) @ signs[list(wires)].T
 
 
 def probabilities(state: np.ndarray) -> np.ndarray:
@@ -109,7 +107,7 @@ def probabilities(state: np.ndarray) -> np.ndarray:
     The paper's baseline quantum decoder returns this 2**n-dimensional
     vector as the reconstruction.
     """
-    return (state.real**2 + state.imag**2).astype(np.float64)
+    return state.real**2 + state.imag**2
 
 
 def marginal_probabilities(state: np.ndarray, wires: Sequence[int]) -> np.ndarray:

@@ -1,0 +1,283 @@
+"""Property tests for the compiled execution engine.
+
+The compiled plan (fused single-qubit runs, diagonal/permutation kernels,
+bulk-bound static groups) must be *indistinguishable* from the naive op-by-op
+interpreter: identical forward outputs and identical adjoint gradients, to
+near machine precision, across randomized circuits covering every gate in
+``_PARAMETRIC | _FIXED``, both embeddings, both measurement kinds, and both
+shared and per-sample (batched) gate parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum import (
+    Circuit,
+    Operation,
+    backward,
+    compile_circuit,
+    compiled_plan,
+    execute,
+    naive_backward,
+    naive_execute,
+    parameter_shift_gradients,
+)
+from repro.quantum.engine import _DiagCRZ, _DiagRZ, _DiagSign, _Fused1Q, _Permutation
+
+_ALL_GATES = ["RX", "RY", "RZ", "CRZ", "CNOT", "CZ", "SWAP", "H", "X", "Y", "Z"]
+
+
+def _random_circuit(rng, n_wires, n_ops, embedding, measurement, reupload):
+    """A random circuit over the full gate set.
+
+    ``reupload`` sprinkles input-sourced rotations through the body so fused
+    runs mix batched (per-sample) and shared matrices.
+    """
+    circuit = Circuit(n_wires)
+    if embedding == "amplitude":
+        circuit.amplitude_embedding(2**n_wires)
+    elif embedding == "angle":
+        circuit.angle_embedding(n_wires, rotation=str(rng.choice(["RX", "RY", "RZ"])))
+    for _ in range(n_ops):
+        name = _ALL_GATES[rng.integers(len(_ALL_GATES))]
+        if name in {"CRZ", "CNOT", "CZ", "SWAP"} and n_wires < 2:
+            name = "RY"
+        if name in {"CRZ", "CNOT", "CZ", "SWAP"}:
+            a, b = rng.choice(n_wires, size=2, replace=False)
+            wires = (int(a), int(b))
+        else:
+            wires = (int(rng.integers(n_wires)),)
+        if name in {"RX", "RY", "RZ"}:
+            if reupload and circuit.n_inputs and rng.random() < 0.3:
+                source = ("input", int(rng.integers(circuit.n_inputs)))
+            else:
+                source = ("weight", circuit._new_weight())
+        elif name == "CRZ":
+            source = ("weight", circuit._new_weight())
+        else:
+            source = None
+        circuit.ops.append(Operation(name, wires, source))
+    if measurement == "expval":
+        n_meas = int(rng.integers(1, n_wires + 1))
+        circuit.measure_expval(tuple(sorted(rng.choice(n_wires, n_meas, replace=False).tolist())))
+    else:
+        circuit.measure_probs()
+    return circuit
+
+
+def _compare(circuit, inputs, weights, rng, atol=1e-10):
+    out_c, cache_c = execute(circuit, inputs, weights)
+    out_n, cache_n = naive_execute(circuit, inputs, weights)
+    np.testing.assert_allclose(out_c, out_n, atol=atol)
+    grad_outputs = rng.normal(size=out_c.shape)
+    gi_c, gw_c = backward(cache_c, grad_outputs)
+    gi_n, gw_n = naive_backward(cache_n, grad_outputs)
+    np.testing.assert_allclose(gw_c, gw_n, atol=atol)
+    if gi_n is None:
+        assert gi_c is None
+    else:
+        np.testing.assert_allclose(gi_c, gi_n, atol=atol)
+    return grad_outputs, gw_c
+
+
+class TestCompiledMatchesNaive:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n_wires=st.integers(min_value=1, max_value=4),
+        n_ops=st.integers(min_value=0, max_value=25),
+        embedding=st.sampled_from(["none", "amplitude", "angle"]),
+        measurement=st.sampled_from(["expval", "probs"]),
+        batch=st.integers(min_value=1, max_value=4),
+        reupload=st.booleans(),
+    )
+    def test_random_circuits(
+        self, seed, n_wires, n_ops, embedding, measurement, batch, reupload
+    ):
+        rng = np.random.default_rng(seed)
+        circuit = _random_circuit(rng, n_wires, n_ops, embedding, measurement, reupload)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        if circuit.n_inputs:
+            inputs = rng.uniform(0.1, 2.0, size=(batch, circuit.n_inputs))
+        else:
+            inputs = None
+        _compare(circuit, inputs, weights, rng)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n_wires=st.integers(min_value=2, max_value=4),
+        n_layers=st.integers(min_value=1, max_value=3),
+    )
+    def test_sel_circuits_match_parameter_shift(self, seed, n_wires, n_layers):
+        rng = np.random.default_rng(seed)
+        circuit = (
+            Circuit(n_wires)
+            .amplitude_embedding(2**n_wires)
+            .strongly_entangling_layers(n_layers)
+            .measure_expval()
+        )
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 2.0, size=(3, 2**n_wires))
+        grad_outputs, gw_c = _compare(circuit, inputs, weights, rng)
+        shift = parameter_shift_gradients(circuit, inputs, weights, grad_outputs)
+        np.testing.assert_allclose(gw_c, shift, atol=1e-9)
+
+    def test_reuploading_circuit(self):
+        rng = np.random.default_rng(11)
+        circuit = Circuit(3).reuploading_layers(3, 2).measure_expval()
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(-1, 1, size=(4, 3))
+        _compare(circuit, inputs, weights, rng)
+
+    def test_every_specialized_kernel(self):
+        """One circuit hitting every lowering rule, batched and unbatched."""
+        rng = np.random.default_rng(12)
+        circuit = Circuit(3)
+        circuit.rz(0)            # lone RZ -> diagonal phase kernel
+        circuit.z(1)             # lone Z -> sign kernel
+        circuit.x(2)             # lone X -> permutation kernel
+        circuit.h(0).y(0)        # fused dense run
+        circuit.rot(1)           # fused Rot triple
+        circuit.cnot(0, 2)       # permutation
+        circuit.cz(1, 2)         # sign
+        circuit.swap(0, 1)       # permutation
+        circuit.crz(2, 0)        # CRZ diagonal
+        circuit.rx(2).ry(2)      # fused parametric run
+        circuit.measure_probs()
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        _compare(circuit, None, weights, rng)
+
+    def test_zero_fallback_rows_match(self):
+        rng = np.random.default_rng(13)
+        circuit = (
+            Circuit(2)
+            .amplitude_embedding(4, zero_fallback=True)
+            .strongly_entangling_layers(2)
+            .measure_expval()
+        )
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 1.0, size=(3, 4))
+        inputs[1] = 0.0  # a zero row exercises the fallback gradient mask
+        _compare(circuit, inputs, weights, rng)
+
+
+class TestPlanLowering:
+    def test_sel_rot_triples_fuse(self):
+        circuit = Circuit(4).strongly_entangling_layers(2).measure_expval()
+        plan = compile_circuit(circuit)
+        fused = [i for i in plan.instructions if isinstance(i, _Fused1Q)]
+        perms = [i for i in plan.instructions if isinstance(i, _Permutation)]
+        # 2 layers x 4 wires: each Rot triple is one fused instruction.
+        assert len(fused) == 8
+        assert all(len(i.members) == 3 for i in fused)
+        assert len(perms) == 8  # the CNOT rings
+        assert plan.n_instructions == 16 < len(circuit.ops) == 32
+        # All Rot runs share one signature -> one bulk-bound static group.
+        assert len(plan.groups) == 1
+        assert plan.groups[0].count == 8
+
+    def test_commuting_gates_fuse_across_other_wires(self):
+        # RY(0), CNOT(1,2), RY(0): the CNOT does not touch wire 0, so the
+        # two RYs fuse into a single run.
+        circuit = Circuit(3).ry(0).cnot(1, 2).ry(0).measure_expval()
+        plan = compile_circuit(circuit)
+        fused = [i for i in plan.instructions if isinstance(i, _Fused1Q)]
+        assert len(fused) == 1
+        assert len(fused[0].members) == 2
+
+    def test_two_qubit_gate_breaks_runs_on_its_wires(self):
+        circuit = Circuit(2).ry(0).cnot(0, 1).ry(0).measure_expval()
+        plan = compile_circuit(circuit)
+        fused = [i for i in plan.instructions if isinstance(i, _Fused1Q)]
+        assert len(fused) == 2
+
+    def test_kernel_specialization(self):
+        circuit = (
+            Circuit(3).rz(0).z(1).x(2).cz(0, 1).cnot(0, 2).crz(0, 1)
+            .measure_probs()
+        )
+        plan = compile_circuit(circuit)
+        kinds = [type(i).__name__ for i in plan.instructions]
+        assert kinds == [
+            "_DiagRZ", "_DiagSign", "_DiagSign",
+            "_Permutation", "_Permutation", "_DiagCRZ",
+        ]
+
+    def test_bad_wires_rejected_at_compile(self):
+        circuit = Circuit(2).ry(1).measure_expval()
+        circuit.ops.append(Operation("CNOT", (0, 5)))
+        with pytest.raises(ValueError):
+            execute(circuit, None, np.zeros(1))
+        circuit.ops[-1] = Operation("CNOT", (1, 1))
+        with pytest.raises(ValueError):
+            execute(circuit, None, np.zeros(1))
+
+
+class TestPlanCaching:
+    def test_plan_cached_on_circuit(self):
+        circuit = Circuit(3).strongly_entangling_layers(1).measure_expval()
+        assert compiled_plan(circuit) is compiled_plan(circuit)
+
+    def test_mutation_invalidates_plan(self):
+        circuit = Circuit(3).strongly_entangling_layers(1).measure_expval()
+        plan = compiled_plan(circuit)
+        circuit.ry(0)
+        new_plan = compiled_plan(circuit)
+        assert new_plan is not plan
+        assert new_plan.n_instructions != plan.n_instructions
+
+    def test_identical_structures_share_a_plan(self):
+        def make():
+            return Circuit(3).strongly_entangling_layers(2).measure_expval()
+
+        assert compiled_plan(make()) is compiled_plan(make())
+
+    def test_execute_reuses_plan(self):
+        circuit = Circuit(2).strongly_entangling_layers(1).measure_expval()
+        weights = np.linspace(-1, 1, circuit.n_weights)
+        execute(circuit, None, weights, want_cache=False)
+        plan = circuit._compiled_plan
+        execute(circuit, None, weights, want_cache=False)
+        assert circuit._compiled_plan is plan
+
+
+class TestCacheCarriesEmbedding:
+    def test_embedded_state_and_norms_cached(self):
+        rng = np.random.default_rng(21)
+        circuit = (
+            Circuit(3)
+            .amplitude_embedding(8)
+            .strongly_entangling_layers(1)
+            .measure_expval()
+        )
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 1.0, size=(4, 8))
+        __, cache = execute(circuit, inputs, weights)
+        assert cache.embedded is not None
+        assert cache.norms.shape == (4,)
+        np.testing.assert_allclose(
+            np.linalg.norm(cache.embedded, axis=1), np.ones(4), atol=1e-12
+        )
+        np.testing.assert_allclose(cache.norms, np.linalg.norm(inputs, axis=1))
+        # The cached embedding must be the pristine pre-circuit state, not
+        # the (in-place mutated) final state.
+        assert cache.embedded is not cache.final_state
+
+    def test_backward_twice_is_deterministic(self):
+        rng = np.random.default_rng(22)
+        circuit = (
+            Circuit(2)
+            .amplitude_embedding(4)
+            .strongly_entangling_layers(2)
+            .measure_probs()
+        )
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 1.0, size=(2, 4))
+        outputs, cache = execute(circuit, inputs, weights)
+        grad_outputs = rng.normal(size=outputs.shape)
+        first = backward(cache, grad_outputs)
+        second = backward(cache, grad_outputs)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
