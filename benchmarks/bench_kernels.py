@@ -3,7 +3,8 @@
 These are proper multi-round pytest benchmarks (unlike the one-shot
 experiment reproductions): statevector gate application, full circuit
 execution, adjoint backward, parameter-shift (for the cost comparison the
-adjoint method wins), patched-layer forward, and molecule scoring.
+adjoint method wins), patched-layer forward, stacked-vs-sequential patched
+forward+backward training passes, and molecule scoring.
 """
 
 import numpy as np
@@ -11,7 +12,7 @@ import numpy as np
 from repro.chem import random_molecules, score_molecules
 from repro.models import ScalableQuantumAE
 from repro.nn import Tensor, functional as F
-from repro.qnn import PatchedQuantumLayer, amplitude_encoder_circuit
+from repro.qnn import PatchedQuantumLayer, amplitude_encoder_circuit, patch_qubits
 from repro.quantum import (
     Circuit,
     backward,
@@ -139,6 +140,80 @@ def bench_patched_encoder_forward_1024(benchmark):
     x = Tensor(np.abs(rng.normal(size=(32, 1024))) + 0.01)
     out = benchmark(lambda: layer(x))
     assert out.shape == (32, 32)
+
+
+def _patched_encoder(n_patches, stacked, batch=32):
+    """A paper-scale patched encoder (1024 features, 5 SEL layers) + batch."""
+    rng = np.random.default_rng(5)
+    qubits = patch_qubits(1024, n_patches)
+    layer = PatchedQuantumLayer(
+        lambda i: amplitude_encoder_circuit(
+            qubits, 1024 // n_patches, 5, zero_fallback=True
+        ),
+        n_patches=n_patches,
+        rng=rng,
+        stacked=stacked,
+    )
+    x = Tensor(np.abs(rng.normal(size=(batch, 1024))) + 0.01, requires_grad=True)
+    return layer, x
+
+
+def _patched_step(layer, x):
+    def step():
+        layer.zero_grad()
+        x.zero_grad()
+        out = layer(x)
+        out.sum().backward()
+        return out
+
+    return step
+
+
+def bench_patched_fwd_bwd_p8(benchmark):
+    """Stacked patched-encoder training pass (p=8): forward + backward in
+    one engine invocation over a (8*32, 2**7) stacked state."""
+    layer, x = _patched_encoder(8, stacked=True)
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (32, 56)
+
+
+def bench_patched_fwd_bwd_p8_naive(benchmark):
+    """The same p=8 forward + backward on the sequential per-patch loop —
+    the pre-stacking baseline the stacked speedup is measured against."""
+    layer, x = _patched_encoder(8, stacked=False)
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (32, 56)
+
+
+def bench_patched_fwd_bwd_p16(benchmark):
+    """Stacked patched-encoder training pass at the paper's largest patch
+    count (p=16): one (16*32, 2**6) pass instead of 16 engine calls."""
+    layer, x = _patched_encoder(16, stacked=True)
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (32, 96)
+
+
+def bench_patched_fwd_bwd_p16_naive(benchmark):
+    """The same p=16 forward + backward on the sequential per-patch loop."""
+    layer, x = _patched_encoder(16, stacked=False)
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (32, 96)
+
+
+def bench_patched_fwd_bwd_p8_b8(benchmark):
+    """Stacked p=8 training pass at minibatch 8 — the small-batch regime,
+    where the per-patch loop is dominated by per-invocation overhead and
+    stacking pays off the most."""
+    layer, x = _patched_encoder(8, stacked=True, batch=8)
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (8, 56)
+
+
+def bench_patched_fwd_bwd_p8_b8_naive(benchmark):
+    """The same p=8 minibatch-8 pass on the sequential per-patch loop."""
+    layer, x = _patched_encoder(8, stacked=False, batch=8)
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (8, 56)
 
 
 def bench_sq_ae_training_step(benchmark):

@@ -8,10 +8,15 @@ timing), derives compiled-vs-naive speedups for the benchmark pairs that have
 a ``*_naive`` baseline, and writes everything to ``BENCH_kernels.json`` at
 the repo root — the file future PRs diff against.
 
+Each payload is stamped with the git commit it was generated at, and
+``--check`` turns the runner into a perf-regression gate: it fails (exit 1)
+when any measured compiled/stacked-vs-naive speedup drops below its floor in
+:data:`SPEEDUP_FLOORS`, which makes the perf trajectory enforceable in CI.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_kernels.py [--only SUBSTR]
-        [--rounds N] [--output PATH]
+        [--rounds N] [--output PATH] [--check]
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import argparse
 import inspect
 import json
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -29,6 +35,47 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 _NAIVE_SUFFIX = "_naive"
+
+# Floors asserted by --check: the measured speedup of each benchmark over its
+# ``*_naive`` baseline must stay at or above these.  Values sit well below
+# the ratios recorded in BENCH_kernels.json so machine noise does not trip
+# the gate, while still catching a real regression (e.g. the stacked patched
+# path falling back to the per-patch loop).
+SPEEDUP_FLOORS = {
+    "bench_circuit_forward_8q_5layers": 3.0,
+    "bench_adjoint_backward_8q_5layers": 1.5,
+    "bench_patched_fwd_bwd_p8": 1.2,
+    "bench_patched_fwd_bwd_p8_b8": 2.5,
+    "bench_patched_fwd_bwd_p16": 2.5,
+}
+
+
+def git_commit() -> str | None:
+    """The commit the benchmarked tree is based on, or None outside git.
+
+    Suffixed with ``-dirty`` when the working tree has uncommitted changes,
+    so BENCH_kernels.json never attributes numbers measured on modified
+    code to a clean commit.
+    """
+    def _git(*args):
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    head = _git("rev-parse", "HEAD")
+    if head is None:
+        return None
+    status = _git("status", "--porcelain")
+    dirty = "-dirty" if status is None or status.strip() else ""
+    return head.strip() + dirty
 
 
 class TimerShim:
@@ -110,6 +157,9 @@ def main(argv=None) -> int:
                         help="timed rounds per benchmark (default 15)")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_kernels.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any measured speedup falls below its "
+                             "floor in SPEEDUP_FLOORS")
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
@@ -128,16 +178,41 @@ def main(argv=None) -> int:
         print(f"{name:48s} min {shim.stats['min_s'] * 1e3:10.3f} ms  "
               f"mean {shim.stats['mean_s'] * 1e3:10.3f} ms", file=sys.stderr)
 
+    measured = speedups(results)
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_commit": git_commit(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "rounds": args.rounds,
         "benchmarks": results,
-        "speedup_vs_naive": speedups(results),
+        "speedup_vs_naive": measured,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        failures = [
+            (name, measured[name], floor)
+            for name, floor in sorted(SPEEDUP_FLOORS.items())
+            if name in measured and measured[name] < floor
+        ]
+        checked = [name for name in SPEEDUP_FLOORS if name in measured]
+        skipped = sorted(set(SPEEDUP_FLOORS) - set(checked))
+        for name in skipped:
+            print(f"warning: floored benchmark {name} was not measured "
+                  f"(filtered by --only?)", file=sys.stderr)
+        for name, got, floor in failures:
+            print(f"REGRESSION {name}: speedup {got:.2f}x below floor "
+                  f"{floor:.1f}x", file=sys.stderr)
+        if failures:
+            return 1
+        if not checked:
+            print("--check measured no floored benchmark; refusing to pass "
+                  "an empty gate", file=sys.stderr)
+            return 1
+        print(f"--check ok: {len(checked)} speedup floor(s) held",
+              file=sys.stderr)
     return 0
 
 

@@ -8,6 +8,20 @@ the output: with ``p`` patches over 1024 features each patch amplitude-embeds
 ``1024/p`` features into ``log2(1024/p)`` qubits, and the concatenated
 per-qubit expectations give a latent space of ``p * log2(1024/p)`` dimensions
 (18/32/56/96 for p = 2/4/8/16 — Section IV-D).
+
+Stacked execution contract
+--------------------------
+The ``p`` sub-circuits are independent and (when built from one factory)
+structurally identical, so :class:`PatchedQuantumLayer` does not loop over
+them: it stacks the per-patch input slices into ``(p, batch, in)``, the
+per-patch weight vectors into ``(p, n_weights)``, and makes **one** engine
+invocation through :func:`repro.quantum.autodiff.execute_stacked` — a single
+``(p * batch, 2**n)`` statevector pass through one compiled plan, with one
+adjoint walk returning every patch's weight and input gradients
+(:func:`repro.quantum.autodiff.backward_stacked`).  Patches whose circuits
+are *not* structurally identical (or a layer built with ``stacked=False``)
+fall back to the sequential per-patch loop, which is also the reference the
+stacked path is property-tested against.
 """
 
 from __future__ import annotations
@@ -15,8 +29,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.modules import Module, ModuleList
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_grad_enabled
+from ..quantum.autodiff import backward_stacked, execute_stacked
 from ..quantum.circuit import Circuit
+from ..quantum.engine import circuit_signature, stacked_plan
 from .qlayer import QuantumLayer
 
 __all__ = ["PatchedQuantumLayer", "patched_latent_dim", "patch_qubits"]
@@ -29,6 +45,12 @@ def patch_qubits(n_features: int, n_patches: int) -> int:
             f"{n_features} features do not split into {n_patches} equal patches"
         )
     per_patch = n_features // n_patches
+    if per_patch < 2:
+        raise ValueError(
+            f"{n_features} features over {n_patches} patches leaves "
+            f"{per_patch} feature(s) per patch — a 0-qubit sub-circuit; "
+            "use fewer patches"
+        )
     n_qubits = int(per_patch).bit_length() - 1
     if 2**n_qubits != per_patch:
         raise ValueError(f"patch size {per_patch} is not a power of two")
@@ -53,6 +75,11 @@ class PatchedQuantumLayer(Module):
         Number of sub-circuits ``p``.
     rng:
         Seeded generator; each patch gets independently initialized weights.
+    stacked:
+        Execute all patches as one stacked engine pass (see the module
+        docstring).  On by default; only takes effect when every patch
+        circuit is structurally identical, otherwise the layer silently
+        uses the sequential per-patch loop.
     """
 
     def __init__(
@@ -61,6 +88,7 @@ class PatchedQuantumLayer(Module):
         n_patches: int,
         rng: np.random.Generator | None = None,
         init_scale: float = np.pi,
+        stacked: bool = True,
     ):
         super().__init__()
         if n_patches < 1:
@@ -80,6 +108,13 @@ class PatchedQuantumLayer(Module):
             raise ValueError(f"patches disagree on input dim: {sorted(in_dims)}")
         self.inputs_per_patch = in_dims.pop()
         self.output_dim = sum(patch.output_dim for patch in self.patches)
+        signatures = {circuit_signature(patch.circuit) for patch in self.patches}
+        self._template: Circuit | None = (
+            self.patches[0].circuit if len(signatures) == 1 else None
+        )
+        self.stacked = bool(stacked) and self._template is not None
+        if self.stacked:
+            stacked_plan(self._template)  # pay template compilation up front
 
     @property
     def input_dim(self) -> int:
@@ -93,6 +128,12 @@ class PatchedQuantumLayer(Module):
                 f"({self.n_patches} patches x {self.inputs_per_patch}), "
                 f"got {x.shape[-1]}"
             )
+        if not (self.stacked and self._template is not None):
+            return self._forward_sequential(x)
+        return self._forward_stacked(x)
+
+    def _forward_sequential(self, x: Tensor) -> Tensor:
+        """Reference path: one engine invocation per patch."""
         outputs = []
         for index, patch in enumerate(self.patches):
             start = index * self.inputs_per_patch
@@ -100,8 +141,62 @@ class PatchedQuantumLayer(Module):
             outputs.append(patch(chunk))
         return Tensor.concatenate(outputs, axis=1)
 
+    def _forward_stacked(self, x: Tensor) -> Tensor:
+        """Fast path: all p patches as one stacked statevector pass."""
+        batch = x.shape[0]
+        p, per_in = self.n_patches, self.inputs_per_patch
+        inputs = np.ascontiguousarray(
+            np.asarray(x.data, dtype=np.float64)
+            .reshape(batch, p, per_in)
+            .transpose(1, 0, 2)
+        )
+        weights = np.stack([patch.weights.data for patch in self.patches])
+        track = is_grad_enabled() and (
+            x.requires_grad
+            or any(patch.weights.requires_grad for patch in self.patches)
+        )
+        stacked_out, cache = execute_stacked(
+            self._template, inputs, weights, want_cache=track
+        )
+        per_out = stacked_out.shape[2]
+        out = Tensor(
+            np.ascontiguousarray(stacked_out.transpose(1, 0, 2)).reshape(
+                batch, self.output_dim
+            )
+        )
+        if not track:
+            return out
+
+        out.requires_grad = True
+        parents = [patch.weights for patch in self.patches]
+        if x.requires_grad:
+            parents.append(x)
+        out._prev = tuple(parents)
+        patches = self.patches
+
+        def _backward() -> None:
+            grad_out = np.ascontiguousarray(
+                out.grad.reshape(batch, p, per_out).transpose(1, 0, 2)
+            )
+            grad_inputs, grad_weights = backward_stacked(
+                cache, grad_out, want_inputs=x.requires_grad
+            )
+            for k, patch in enumerate(patches):
+                if patch.weights.requires_grad:
+                    patch.weights._accumulate(grad_weights[k])
+            if x.requires_grad and grad_inputs is not None:
+                x._accumulate(
+                    np.ascontiguousarray(
+                        grad_inputs.transpose(1, 0, 2)
+                    ).reshape(batch, self.input_dim)
+                )
+
+        out._backward = _backward
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
             f"PatchedQuantumLayer(patches={self.n_patches}, "
-            f"in={self.input_dim}, out={self.output_dim})"
+            f"in={self.input_dim}, out={self.output_dim}, "
+            f"stacked={self.stacked})"
         )

@@ -34,6 +34,13 @@ class QuantumLayer(Module):
         Weights are drawn uniformly from ``[-init_scale, init_scale]``.
         Defaults to pi, covering the full rotation-angle range the paper
         discusses ("quantum parameters fall in the range [-pi, pi]").
+    input_prefix:
+        Accept inputs wider than ``circuit.n_inputs``: the circuit consumes
+        the leading ``circuit.n_inputs`` columns and the extra columns are
+        ignored (they receive zero gradient).  Off by default — a width
+        mismatch is almost always a wiring bug, and silently training on an
+        unintended feature prefix corrupts gradients without any error, so
+        the assumption must be opted into explicitly.
     """
 
     def __init__(
@@ -41,11 +48,13 @@ class QuantumLayer(Module):
         circuit: Circuit,
         rng: np.random.Generator | None = None,
         init_scale: float = np.pi,
+        input_prefix: bool = False,
     ):
         super().__init__()
         if circuit.measurement is None:
             raise ValueError("QuantumLayer requires a measured circuit")
         self.circuit = circuit
+        self.input_prefix = bool(input_prefix)
         # Pay plan compilation at construction; every forward/backward then
         # binds and runs the cached program.
         compiled_plan(circuit)
@@ -67,6 +76,19 @@ class QuantumLayer(Module):
         weights and (when the circuit embeds inputs) the input features.
         """
         inputs = None if x is None else np.asarray(x.data, dtype=np.float64)
+        if inputs is not None and inputs.shape[-1] != self.circuit.n_inputs:
+            if not (self.input_prefix and inputs.shape[-1] > self.circuit.n_inputs):
+                hint = (
+                    "; construct the layer with input_prefix=True to "
+                    "deliberately feed the circuit a wider tensor's leading "
+                    "columns"
+                    if inputs.shape[-1] > self.circuit.n_inputs
+                    else ""
+                )
+                raise ValueError(
+                    f"circuit consumes {self.circuit.n_inputs} input "
+                    f"feature(s), got {inputs.shape[-1]}{hint}"
+                )
         track = is_grad_enabled() and (
             self.weights.requires_grad or (x is not None and x.requires_grad)
         )

@@ -40,20 +40,40 @@ including every fused run of length > 1 — to the dense single-qubit kernel.
 The pre-compilation op-by-op interpreter survives as ``naive_execute`` /
 ``naive_backward``, the reference implementation that the compiled engine is
 property-tested against and benchmarked from.
+
+``p`` structurally identical circuit instances (the patched encoder's
+sub-circuits) execute as one stacked ``(p * batch, 2**n)`` pass through a
+:class:`~repro.quantum.engine.StackedPlan` via
+:func:`~repro.quantum.autodiff.execute_stacked` /
+:func:`~repro.quantum.autodiff.backward_stacked`: weight-sourced gates bind
+per patch and broadcast along the outermost state axis, adjacent dense runs
+merge into 4x4 kron blocks, consecutive permutations compose into single
+gathers, and one adjoint walk — one transition-matrix contraction per dense
+block — returns every instance's gradients.
 """
 
 from . import gates
 from .autodiff import (
     ExecutionCache,
+    StackedExecutionCache,
     backward,
+    backward_stacked,
     execute,
+    execute_stacked,
     naive_backward,
     naive_execute,
     prepare_amplitude_state,
 )
 from .circuit import Circuit, Operation, sel_weight_count
 from .drawer import draw
-from .engine import CompiledPlan, compile_circuit, compiled_plan
+from .engine import (
+    CompiledPlan,
+    StackedPlan,
+    compile_circuit,
+    compile_stacked,
+    compiled_plan,
+    stacked_plan,
+)
 from .noise import NoiseModel, noisy_execute
 from .observables import (
     pauli_string_expval,
@@ -85,13 +105,19 @@ __all__ = [
     "sel_weight_count",
     "execute",
     "backward",
+    "execute_stacked",
+    "backward_stacked",
     "naive_execute",
     "naive_backward",
     "ExecutionCache",
+    "StackedExecutionCache",
     "prepare_amplitude_state",
     "CompiledPlan",
+    "StackedPlan",
     "compile_circuit",
+    "compile_stacked",
     "compiled_plan",
+    "stacked_plan",
     "parameter_shift_gradients",
     "parameter_shift_jacobian",
     "apply_gate",

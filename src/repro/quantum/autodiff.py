@@ -34,7 +34,13 @@ import numpy as np
 
 from . import gates as G
 from .circuit import Circuit, Operation
-from .engine import CompiledPlan, compiled_plan
+from .engine import (
+    CompiledPlan,
+    StackedGradContext,
+    StackedPlan,
+    compiled_plan,
+    stacked_plan,
+)
 from .state import (
     apply_gate,
     expval_z,
@@ -46,8 +52,11 @@ from .state import (
 
 __all__ = [
     "ExecutionCache",
+    "StackedExecutionCache",
     "execute",
     "backward",
+    "execute_stacked",
+    "backward_stacked",
     "naive_execute",
     "naive_backward",
     "prepare_amplitude_state",
@@ -78,6 +87,29 @@ class ExecutionCache:
     zero_rows: np.ndarray | None = None  # (batch,) bool, zero-fallback rows
 
 
+@dataclass
+class StackedExecutionCache:
+    """Backward bookkeeping for a stacked (multi-instance) execution.
+
+    Mirrors :class:`ExecutionCache` for the stacked engine path: the bound
+    :class:`~repro.quantum.engine.StackedPlan`, the flat
+    ``(p * batch, 2**n)`` final state, and the embedding carry-over, plus the
+    stack layout (``n_patches`` instances of ``batch`` samples each).
+    """
+
+    circuit: Circuit
+    final_state: np.ndarray  # (p * batch, 2**n)
+    weights: np.ndarray  # (p, n_weights)
+    n_patches: int
+    batch: int
+    plan: StackedPlan | None = None
+    bound: list | None = None
+    checkpoints: list | None = None  # per-instruction post-states (or None)
+    embedded: np.ndarray | None = None  # (p * batch, 2**n)
+    norms: np.ndarray | None = None  # (p * batch,)
+    zero_rows: np.ndarray | None = None  # (p * batch,) bool
+
+
 def prepare_amplitude_state(
     features: np.ndarray, n_wires: int, zero_fallback: bool = False
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -93,6 +125,14 @@ def prepare_amplitude_state(
     return state, norms
 
 
+# Rows with norms below this are treated as zero.  Under sqrt(tiny) the
+# squared feature values that build the norm are subnormal (or flushed to
+# zero outright), so the computed norm has lost most of its mantissa and
+# normalizing by it — or dividing gradients by it — is numerically
+# meaningless.  The old 1e-300 guard let such rows through.
+_NORM_EPS = float(np.sqrt(np.finfo(np.float64).tiny))  # ~1.5e-154
+
+
 def _prepare_amplitude(
     features: np.ndarray, n_wires: int, zero_fallback: bool
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -102,10 +142,15 @@ def _prepare_amplitude(
     padded = np.zeros((batch, dim), dtype=np.float64)
     padded[:, :d] = features
     norms = np.linalg.norm(padded, axis=1)
-    zero_rows = norms < 1e-300
+    zero_rows = norms < _NORM_EPS
     if np.any(zero_rows):
         if not zero_fallback:
-            raise ValueError("amplitude embedding requires nonzero feature vectors")
+            raise ValueError(
+                "amplitude embedding requires feature vectors with norm >= "
+                f"{_NORM_EPS:.3g} (rows below that cannot be normalized at "
+                "double precision); pass zero_fallback=True to embed them "
+                "as |0...0>"
+            )
         padded[zero_rows, 0] = 1.0
         norms = np.where(zero_rows, 1.0, norms)
     state = (padded / norms[:, None]).astype(np.complex128)
@@ -227,6 +272,159 @@ def execute(
         zero_rows=zero_rows,
     )
     return outputs, cache
+
+
+def execute_stacked(
+    circuit: Circuit,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    want_cache: bool = True,
+) -> tuple[np.ndarray, StackedExecutionCache | None]:
+    """Run ``p`` weight-bindings of one circuit template as a single pass.
+
+    The paper's patched layers execute ``p`` structurally identical
+    sub-circuits that differ only in their weight vectors and input slices.
+    This entry point stacks them through the circuit's
+    :func:`~repro.quantum.engine.stacked_plan`: the whole ensemble is one
+    ``(p * batch, 2**n)`` statevector pass — one engine invocation instead
+    of ``p`` — with per-patch weight binding inside the plan's kernels.
+
+    Parameters
+    ----------
+    circuit:
+        The shared circuit template (with a measurement).
+    inputs:
+        ``(p, batch, n_inputs)`` per-instance features, or None when the
+        circuit consumes no inputs (then ``batch = 1``).
+    weights:
+        ``(p, n_weights)`` per-instance trainable angles; ``p`` is taken
+        from this argument.
+
+    Returns
+    -------
+    outputs:
+        ``(p, batch, output_dim)`` real measurement results.
+    cache:
+        Pass to :func:`backward_stacked`, or None when ``want_cache=False``.
+    """
+    if circuit.measurement is None:
+        raise ValueError("circuit has no measurement; call measure_* first")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[1] != circuit.n_weights:
+        raise ValueError(
+            f"stacked weights must be (p, {circuit.n_weights}), "
+            f"got shape {weights.shape}"
+        )
+    p = weights.shape[0]
+    if p < 1:
+        raise ValueError("stacked execution needs at least one instance")
+    n_in = circuit.n_inputs
+    if inputs is not None:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[0] != p or inputs.shape[2] != n_in:
+            raise ValueError(
+                f"stacked inputs must be (p={p}, batch, {n_in}), "
+                f"got shape {inputs.shape}"
+            )
+        batch = inputs.shape[1]
+        flat_inputs = np.ascontiguousarray(inputs.reshape(p * batch, n_in))
+    else:
+        if n_in:
+            raise ValueError("circuit consumes inputs but none were given")
+        batch = 1
+        flat_inputs = None
+
+    if circuit.state_prep is not None:
+        __, n_features, zero_fallback = circuit.state_prep
+        state, norms, zero_rows = _prepare_amplitude(
+            flat_inputs[:, :n_features], circuit.n_wires, zero_fallback
+        )
+        embedded = state
+    else:
+        state = zero_state(circuit.n_wires, p * batch)
+        embedded = norms = zero_rows = None
+
+    plan = stacked_plan(circuit)
+    bound = plan.bind(flat_inputs, weights, p, batch, with_grads=want_cache)
+    # Stacked applies are pure, so the embedded state survives the run
+    # untouched and post-block states can be checkpointed by reference.
+    record: list | None = [] if want_cache else None
+    state = plan.run(state, bound, p, batch, record=record)
+    outputs = _measure(circuit, state).reshape(p, batch, -1)
+    if not want_cache:
+        return outputs, None
+    cache = StackedExecutionCache(
+        circuit,
+        state,
+        weights,
+        p,
+        batch,
+        plan=plan,
+        bound=bound,
+        checkpoints=record,
+        embedded=embedded,
+        norms=norms,
+        zero_rows=zero_rows,
+    )
+    return outputs, cache
+
+
+def backward_stacked(
+    cache: StackedExecutionCache,
+    grad_outputs: np.ndarray,
+    want_inputs: bool = True,
+) -> tuple[np.ndarray | None, np.ndarray]:
+    """Per-instance vector-Jacobian product of a stacked execution.
+
+    One adjoint walk over the stacked state serves every instance: weight
+    gradients accumulate directly into per-patch rows (via the plan's
+    transition-matrix kernels), input gradients come back per sample.
+
+    Parameters
+    ----------
+    cache:
+        Result of :func:`execute_stacked`.
+    grad_outputs:
+        ``(p, batch, output_dim)`` upstream gradient.
+    want_inputs:
+        When False, the amplitude-embedding input chain is skipped and
+        ``grad_inputs`` is returned as None — the common encoder case where
+        the data tensor needs no gradient.
+
+    Returns
+    -------
+    grad_inputs:
+        ``(p, batch, n_inputs)``, or None if the circuit takes no inputs or
+        ``want_inputs`` is False.
+    grad_weights:
+        ``(p, n_weights)``, each row summed over that instance's batch.
+    """
+    circuit = cache.circuit
+    p, batch = cache.n_patches, cache.batch
+    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
+    lam = _seed_cotangent(cache, grad_outputs.reshape(p * batch, -1))
+    grad_weights = np.zeros((p, circuit.n_weights), dtype=np.float64)
+    grad_inputs = (
+        np.zeros((p * batch, circuit.n_inputs), dtype=np.float64)
+        if circuit.n_inputs
+        else None
+    )
+    ctx = StackedGradContext(
+        p, batch, grad_weights, grad_inputs, cache.final_state.shape
+    )
+    # Only the cotangent walks backward; the ket side is read from the
+    # forward checkpoints (pure applies make them safe to hold by reference).
+    for instr, data, checkpoint in zip(
+        reversed(cache.plan.instructions),
+        reversed(cache.bound),
+        reversed(cache.checkpoints),
+    ):
+        lam = instr.backward_step(lam, data, checkpoint, ctx)
+    if want_inputs:
+        _amplitude_input_grads(cache, lam, grad_inputs)
+    if grad_inputs is None or not want_inputs:
+        return None, grad_weights
+    return grad_inputs.reshape(p, batch, circuit.n_inputs), grad_weights
 
 
 def naive_execute(

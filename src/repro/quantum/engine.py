@@ -30,6 +30,35 @@ identity ``dL/dtheta = Im(<lambda| G_eff |psi>)`` holds at the post-block
 state, so fusion preserves exact gradients.  Effective generators for
 weight-only ("static") runs are built by one batched matmul sweep over all
 runs sharing a gate signature.
+
+**Stacked (multi-bind) execution.**  The patched layers run ``p``
+structurally identical circuit instances that differ only in their weight
+vectors (and input slices).  :func:`stacked_plan` lowers the shared template
+into a :class:`StackedPlan` that executes all ``p`` instances as one
+``(p * batch, 2**n)`` statevector pass — one engine invocation instead of
+``p`` — and exploits the stacked layout in ways the per-instance plan
+cannot:
+
+* weight-sourced gates bind *per patch* — ``(p, 2, 2)`` matrices broadcast
+  along the outermost axis of the ``(p, batch, ...)`` state view, instead of
+  scalar matrices bound ``p`` separate times;
+* a commutation-aware scheduling pass merges dense runs on adjacent wires
+  into 4x4 kron blocks and composes each SEL CNOT ring into a single index
+  gather, roughly halving the instruction count per entangling layer;
+* stacked instructions are *pure* (never mutate their input state), so the
+  forward pass checkpoints every post-block state by reference; the adjoint
+  backward then only walks the cotangent — the ket side is read from the
+  checkpoints instead of being un-applied;
+* per block the backward computes one *transition matrix*
+  ``M[a, c] = sum conj(lambda)_a psi_c`` and contracts every member's
+  effective generator against it (weight gradients only need per-patch
+  sums), replacing the per-parameter generator insertion + full-state inner
+  product of the per-instance plan.
+
+:func:`repro.quantum.autodiff.execute_stacked` /
+:func:`~repro.quantum.autodiff.backward_stacked` drive this plan; stacked
+plans land in a structural cache, so ``p`` patch circuits share one lowered
+program.
 """
 
 from __future__ import annotations
@@ -39,7 +68,15 @@ import numpy as np
 from . import gates as G
 from .circuit import Circuit, Operation
 
-__all__ = ["CompiledPlan", "compile_circuit", "compiled_plan", "circuit_signature"]
+__all__ = [
+    "CompiledPlan",
+    "StackedPlan",
+    "compile_circuit",
+    "compiled_plan",
+    "circuit_signature",
+    "compile_stacked",
+    "stacked_plan",
+]
 
 _SINGLE_QUBIT = {"RX", "RY", "RZ", "H", "X", "Y", "Z"}
 _GENERATORS = G.GENERATORS
@@ -499,4 +536,685 @@ def compiled_plan(circuit: Circuit) -> CompiledPlan:
         plan = compile_circuit(circuit)
         _PLAN_CACHE[signature] = plan
     circuit._compiled_plan = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Stacked (multi-bind) execution
+# ---------------------------------------------------------------------------
+#
+# A StackedPlan runs p structurally identical bindings of one circuit as a
+# single (p * batch, 2**n) pass.  The state is logically (p, batch, dim) with
+# the patch axis outermost; weight-bound gate matrices are (p, d, d) and
+# broadcast along that axis, so every patch sees its own angles while each
+# numpy operation still covers the whole stack.  Input-bound matrices stay
+# per-row, (p * batch, d, d), exactly like the per-instance plan.
+
+
+def _kron_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Kronecker product of ``(..., 2, 2)`` stacks -> ``(..., 4, 4)``."""
+    out = np.einsum("...ab,...cd->...acbd", a, b)
+    return out.reshape(out.shape[:-4] + (4, 4))
+
+
+def _apply_dense_stacked(state, mat, p, batch, left, d, right, per_patch,
+                         out=None):
+    """Apply a ``d x d`` block to the stacked ``(p * batch, 2**n)`` state.
+
+    ``mat`` is ``(p, d, d)`` when ``per_patch`` (broadcast along the
+    outermost axis of the ``(p, batch, ...)`` view — long constant runs, no
+    per-row stride tricks) or ``(p * batch, d, d)`` otherwise.
+
+    Pure: the input is left untouched and the result lands in ``out`` (a
+    fresh array when None).  Purity is what lets the forward pass record
+    post-block states *by reference* as gradient checkpoints, so the
+    backward walk never has to un-apply the ket side (see
+    :meth:`StackedPlan.run`), and lets the cotangent walk ping-pong between
+    two scratch buffers instead of allocating per instruction.
+
+    Three kernels, picked by geometry: a wire axis that sits innermost
+    (``right == 1``) dispatches to one batched GEMM per matrix, long slices
+    (``right >= 16``) to batched ``(d, d) @ (d, right)`` matmuls, and
+    everything else to broadcast row arithmetic.
+
+    ``out`` must be C-contiguous (the reshapes below must be views — a
+    silently-copying reshape would discard the writes), which the explicit
+    ``np.empty`` here guarantees for the allocating path.
+    """
+    if out is None:
+        out = np.empty(state.shape, dtype=state.dtype)
+    if right == 1:
+        # Wire axis innermost: (..., K, d) @ (d, d)^T is GEMM-shaped.
+        if per_patch:
+            psi = state.reshape(p, batch * left, d)
+            res = out.reshape(p, batch * left, d)
+        else:
+            psi = state.reshape(p * batch, left, d)
+            res = out.reshape(p * batch, left, d)
+        np.matmul(psi, mat.swapaxes(-1, -2), out=res)
+        return out
+    if right >= 16:
+        # Long slices: batched (d, d) @ (d, right) GEMMs beat broadcasting.
+        if per_patch:
+            psi = state.reshape(p, batch, left, d, right)
+            res = out.reshape(p, batch, left, d, right)
+            np.matmul(mat[:, None, None], psi, out=res)
+        else:
+            psi = state.reshape(p * batch, left, d, right)
+            res = out.reshape(p * batch, left, d, right)
+            np.matmul(mat[:, None], psi, out=res)
+        return out
+    if per_patch:
+        psi = state.reshape(p, batch, left, d, right)
+        res = out.reshape(p, batch, left, d, right)
+        entry = lambda i, j: mat[:, i, j, None, None, None]  # noqa: E731
+    else:
+        psi = state.reshape(p * batch, left, d, right)
+        res = out.reshape(p * batch, left, d, right)
+        entry = lambda i, j: mat[:, i, j, None, None]  # noqa: E731
+    rows = [psi[..., j, :] for j in range(d)]
+    for i in range(d):
+        acc = entry(i, 0) * rows[0]
+        for j in range(1, d):
+            acc += entry(i, j) * rows[j]
+        res[..., i, :] = acc
+    return out
+
+
+def _transition_matrix(psi, lam, p, batch, left, d, right, per_patch):
+    """``M[a, c] = sum conj(lam)[..., a, ...] psi[..., c, ...]``.
+
+    Reduced over every axis except the block's wire axis — and, when
+    ``per_patch``, over the batch too (weight gradients only need per-patch
+    sums).  When the wire axis is innermost (``right == 1``) the views are
+    GEMM-ready and a batched matmul does the whole contraction; otherwise an
+    einsum contracts in place, which measures faster than transposing both
+    states into GEMM layout.
+    """
+    if right == 1:
+        if per_patch:
+            psi_v = psi.reshape(p, batch * left, d)
+            lam_v = lam.reshape(p, batch * left, d)
+        else:
+            psi_v = psi.reshape(p * batch, left, d)
+            lam_v = lam.reshape(p * batch, left, d)
+        return np.matmul(np.conj(lam_v.swapaxes(-1, -2)), psi_v)
+    lam_c = np.conj(lam)
+    if per_patch:
+        return np.einsum(
+            "pblar,pblcr->pac",
+            lam_c.reshape(p, batch, left, d, right),
+            psi.reshape(p, batch, left, d, right),
+        )
+    return np.einsum(
+        "blar,blcr->bac",
+        lam_c.reshape(p * batch, left, d, right),
+        psi.reshape(p * batch, left, d, right),
+    )
+
+
+class StackedGradContext:
+    """Accumulators and scratch threaded through a stacked adjoint walk.
+
+    The cotangent ping-pongs between two preallocated buffers: each
+    backward step reads the current ``lam`` array and writes its successor
+    into the buffer ``lam`` does not occupy, so the walk allocates no
+    full-state arrays after setup.
+    """
+
+    __slots__ = ("p", "batch", "grad_weights", "grad_inputs", "_scratch")
+
+    def __init__(self, p, batch, grad_weights, grad_inputs, state_shape,
+                 dtype=np.complex128):
+        self.p = p
+        self.batch = batch
+        self.grad_weights = grad_weights  # (p, n_weights)
+        self.grad_inputs = grad_inputs  # (p * batch, n_inputs) or None
+        self._scratch = (
+            np.empty(state_shape, dtype=dtype),
+            np.empty(state_shape, dtype=dtype),
+        )
+
+    def out_for(self, lam):
+        """The scratch buffer ``lam`` does not currently occupy."""
+        return self._scratch[1] if lam is self._scratch[0] else self._scratch[0]
+
+
+class _SDense:
+    """A stacked dense block: one fused run, or two merged on adjacent wires.
+
+    ``slots`` holds one entry per wire of the block (1 or 2): the member
+    operations of that wire's fused run plus its static-group coordinates
+    (or None for dynamic runs, bound per instruction).  A pair block applies
+    the kron of its two fused 2x2s as a single 4x4 pass; per-member
+    gradients contract the member's 2x2 effective generator against the
+    partial trace of the block's 4x4 transition matrix, so merging never
+    changes any gradient.
+    """
+
+    __slots__ = ("wires", "left", "right", "d", "slots", "touched")
+
+    def __init__(self, wires, left, right, slots):
+        self.wires = wires
+        self.left = left
+        self.right = right
+        self.d = 2 ** len(wires)
+        self.slots = slots  # tuple of (members, group, row) per wire
+        self.touched = frozenset(wires)
+
+    def _bind_slot(self, slot, inputs, weights, batch, with_grads, group_data):
+        members, group, row = slot
+        if group is not None:
+            fused, geffs = group_data[group]
+            matrix = fused[:, row]
+            grads = ()
+            if with_grads:
+                grads = tuple(
+                    (op.source, geffs[j][:, row])
+                    for j, op in enumerate(members)
+                    if op.source is not None
+                )
+            return matrix, grads, True
+        # Dynamic run: at least one member is input-sourced -> per-row mats.
+        rows = inputs.shape[0]
+        mats = []
+        for op in members:
+            if op.source is None:
+                mats.append(G.FIXED_GATES[op.name])
+            else:
+                kind, index = op.source
+                if kind == "weight":
+                    theta = np.repeat(weights[:, index], batch)
+                else:
+                    theta = inputs[:, index]
+                mats.append(G.PARAMETRIC_GATES[op.name](theta))
+        suffix = None
+        geff_by_pos = {}
+        for j in range(len(mats) - 1, -1, -1):
+            op = members[j]
+            if with_grads and op.source is not None:
+                gen = _GENERATORS[op.name]
+                geff = gen if suffix is None else suffix @ gen @ _dagger(suffix)
+                if geff.ndim == 2:
+                    geff = np.broadcast_to(geff, (rows, 2, 2))
+                geff_by_pos[j] = geff
+            suffix = mats[j] if suffix is None else np.matmul(suffix, mats[j])
+        if suffix.ndim == 2:  # every member fixed: broadcast to per-row
+            suffix = np.broadcast_to(suffix, (rows, 2, 2))
+        grads = tuple(
+            (members[j].source, geff_by_pos[j]) for j in sorted(geff_by_pos)
+        )
+        return suffix, grads, False
+
+    def bind(self, inputs, weights, p, batch, with_grads, group_data):
+        bound = [
+            self._bind_slot(slot, inputs, weights, batch, with_grads, group_data)
+            for slot in self.slots
+        ]
+        if len(bound) == 1:
+            matrix, grads, per_patch = bound[0]
+            grads = tuple((source, 0, geff) for source, geff in grads)
+            return matrix, grads, per_patch
+        (m1, g1, pp1), (m2, g2, pp2) = bound
+        if pp1 != pp2:  # mixed static/dynamic pair: expand static to per-row
+            if pp1:
+                m1 = np.repeat(m1, batch, axis=0)
+                g1 = tuple((s, np.repeat(g, batch, axis=0)) for s, g in g1)
+            else:
+                m2 = np.repeat(m2, batch, axis=0)
+                g2 = tuple((s, np.repeat(g, batch, axis=0)) for s, g in g2)
+        matrix = _kron_rows(m1, m2)
+        grads = tuple((source, 0, geff) for source, geff in g1) + tuple(
+            (source, 1, geff) for source, geff in g2
+        )
+        return matrix, grads, pp1 and pp2
+
+    def apply(self, state, data, p, batch):
+        matrix, __, per_patch = data
+        return _apply_dense_stacked(
+            state, matrix, p, batch, self.left, self.d, self.right, per_patch
+        )
+
+    def needs_state(self, data):
+        return bool(data[1])
+
+    def backward_step(self, lam, data, checkpoint, ctx):
+        matrix, grads, per_patch = data
+        p, batch = ctx.p, ctx.batch
+        if grads:
+            # One transition matrix per block serves every member gradient;
+            # it stays per-patch unless some member needs per-sample values
+            # (input-sourced params scatter into per-row input gradients).
+            # The ket side comes straight from the forward checkpoint.
+            need_rows = not per_patch or any(
+                source[0] == "input" for source, __, ___ in grads
+            )
+            m_block = _transition_matrix(
+                checkpoint, lam, p, batch, self.left, self.d, self.right,
+                per_patch=not need_rows,
+            )
+            if self.d == 4:
+                m5 = m_block.reshape(m_block.shape[0], 2, 2, 2, 2)
+                traces = (
+                    np.einsum("paece->pac", m5),
+                    np.einsum("paeaf->pef", m5),
+                )
+            else:
+                traces = (m_block,)
+            for source, slot, geff in grads:
+                kind, index = source
+                per = np.einsum("pac,pac->p", geff, traces[slot]).imag
+                if kind == "weight":
+                    if need_rows:
+                        per = per.reshape(p, batch).sum(axis=1)
+                    ctx.grad_weights[:, index] += per
+                else:
+                    ctx.grad_inputs[:, index] += per
+        return _apply_dense_stacked(
+            lam, _dagger(matrix), p, batch, self.left, self.d, self.right,
+            per_patch, out=ctx.out_for(lam),
+        )
+
+
+class _SDiagRZ:
+    """Stacked lone RZ: per-patch (or per-row) phase multiply on a bit mask."""
+
+    __slots__ = ("bit", "gdiag", "source", "touched")
+
+    def __init__(self, bit, source, wires):
+        self.bit = bit
+        self.gdiag = 1.0 - 2.0 * bit
+        self.source = source
+        self.touched = frozenset(wires)
+
+    def bind(self, inputs, weights, p, batch, with_grads, group_data):
+        kind, index = self.source
+        if kind == "weight":
+            half = np.exp(-0.5j * weights[:, index])  # (p,)
+        else:
+            half = np.exp(-0.5j * inputs[:, index])  # (p * batch,)
+        return np.where(self.bit[None, :], np.conj(half)[:, None], half[:, None])
+
+    def apply(self, state, data, p, batch):
+        if data.shape[0] == state.shape[0]:
+            return state * data
+        out = state.reshape(p, batch, -1) * data[:, None, :]
+        return out.reshape(state.shape)
+
+    def needs_state(self, data):
+        return True
+
+    def backward_step(self, lam, data, checkpoint, ctx):
+        psi = checkpoint
+        im = lam.real * psi.imag - lam.imag * psi.real
+        per = im @ self.gdiag  # (p * batch,)
+        kind, index = self.source
+        if kind == "weight":
+            ctx.grad_weights[:, index] += per.reshape(ctx.p, ctx.batch).sum(axis=1)
+        else:
+            ctx.grad_inputs[:, index] += per
+        out = ctx.out_for(lam)
+        phases = np.conj(data)
+        if phases.shape[0] == lam.shape[0]:
+            np.multiply(lam, phases, out=out)
+        else:
+            np.multiply(
+                lam.reshape(ctx.p, ctx.batch, -1),
+                phases[:, None, :],
+                out=out.reshape(ctx.p, ctx.batch, -1),
+            )
+        return out
+
+
+class _SDiagCRZ:
+    """Stacked CRZ: phase multiplies on the |10> / |11> index sets."""
+
+    __slots__ = ("idx10", "idx11", "source", "touched")
+
+    def __init__(self, idx10, idx11, source, wires):
+        self.idx10 = idx10
+        self.idx11 = idx11
+        self.source = source
+        self.touched = frozenset(wires)
+
+    def bind(self, inputs, weights, p, batch, with_grads, group_data):
+        kind, index = self.source
+        if kind == "weight":
+            theta = np.repeat(weights[:, index], batch)
+        else:
+            theta = inputs[:, index]
+        return np.exp(-0.5j * theta)[:, None]
+
+    def apply(self, state, data, p, batch):
+        out = state.copy()
+        out[:, self.idx10] *= data
+        out[:, self.idx11] *= np.conj(data)
+        return out
+
+    def needs_state(self, data):
+        return True
+
+    def backward_step(self, lam, data, checkpoint, ctx):
+        psi = checkpoint
+        per = (
+            (np.conj(lam[:, self.idx10]) * psi[:, self.idx10]).imag.sum(axis=1)
+            - (np.conj(lam[:, self.idx11]) * psi[:, self.idx11]).imag.sum(axis=1)
+        )
+        kind, index = self.source
+        if kind == "weight":
+            ctx.grad_weights[:, index] += per.reshape(ctx.p, ctx.batch).sum(axis=1)
+        else:
+            ctx.grad_inputs[:, index] += per
+        out = ctx.out_for(lam)
+        np.copyto(out, lam)
+        out[:, self.idx10] *= np.conj(data)
+        out[:, self.idx11] *= data
+        return out
+
+
+class _SDiagSign:
+    """Stacked self-inverse sign flip (CZ, Z)."""
+
+    __slots__ = ("idx", "touched")
+
+    def __init__(self, idx, wires):
+        self.idx = idx
+        self.touched = frozenset(wires)
+
+    def bind(self, inputs, weights, p, batch, with_grads, group_data):
+        return None
+
+    def apply(self, state, data, p, batch):
+        out = state.copy()
+        out[:, self.idx] *= -1.0
+        return out
+
+    def needs_state(self, data):
+        return False
+
+    def backward_step(self, lam, data, checkpoint, ctx):
+        out = ctx.out_for(lam)
+        np.copyto(out, lam)
+        out[:, self.idx] *= -1.0
+        return out
+
+
+class _SPermutation:
+    """Stacked basis-index gather; consecutive permutations are composed at
+    compile time, so it carries an explicit inverse for the backward walk."""
+
+    __slots__ = ("perm", "inv", "touched")
+
+    def __init__(self, perm, wires):
+        self.perm = perm
+        self.inv = np.argsort(perm)
+        self.touched = frozenset(wires)
+
+    def compose(self, later: "_SPermutation") -> "_SPermutation":
+        """This permutation followed by ``later`` as one gather."""
+        return _SPermutation(
+            self.perm[later.perm], self.touched | later.touched
+        )
+
+    def bind(self, inputs, weights, p, batch, with_grads, group_data):
+        return None
+
+    def apply(self, state, data, p, batch):
+        # np.take, not state[:, perm]: fancy indexing along axis 1 yields an
+        # F-ordered array, which would poison downstream reshape-view kernels.
+        return np.take(state, self.perm, axis=1)
+
+    def needs_state(self, data):
+        return False
+
+    def backward_step(self, lam, data, checkpoint, ctx):
+        out = ctx.out_for(lam)
+        np.take(lam, self.inv, axis=1, out=out)
+        return out
+
+
+class _SStaticGroup:
+    """Bulk binding of weight-only fused runs against ``(p, n_weights)``.
+
+    The stacked counterpart of :class:`_StaticGroup`: one vectorized gate
+    construction per member position over a ``(p, count)`` angle table, one
+    batched-matmul sweep for fused matrices and effective generators —
+    all ``(p, count, 2, 2)``.
+    """
+
+    __slots__ = ("length", "positions", "count")
+
+    def __init__(self, runs):
+        self.count = len(runs)
+        self.length = len(runs[0])
+        positions = []
+        for j in range(self.length):
+            op = runs[0][j]
+            if op.source is None:
+                positions.append((op.name, G.FIXED_GATES[op.name], None))
+            else:
+                widx = np.array([run[j].source[1] for run in runs], dtype=np.intp)
+                positions.append((op.name, None, widx))
+        self.positions = positions
+
+    def bind(self, weights, p, with_grads):
+        mats = np.empty((p, self.count, self.length, 2, 2), dtype=np.complex128)
+        for j, (name, const, widx) in enumerate(self.positions):
+            if widx is None:
+                mats[:, :, j] = const
+            else:
+                mats[:, :, j] = G.PARAMETRIC_GATES[name](weights[:, widx])
+        suffix = None
+        geffs: list[np.ndarray | None] = [None] * self.length
+        for j in range(self.length - 1, -1, -1):
+            name, const, widx = self.positions[j]
+            if with_grads and widx is not None:
+                gen = _GENERATORS[name]
+                if suffix is None:
+                    geffs[j] = np.broadcast_to(gen, (p, self.count, 2, 2))
+                else:
+                    geffs[j] = suffix @ gen @ _dagger(suffix)
+            layer = np.ascontiguousarray(mats[:, :, j])
+            suffix = layer if suffix is None else np.matmul(suffix, layer)
+        return suffix, geffs
+
+
+class StackedPlan:
+    """A lowered multi-bind program: p instances of one circuit per pass."""
+
+    __slots__ = ("n_wires", "signature", "instructions", "groups")
+
+    def __init__(self, n_wires, signature, instructions, groups):
+        self.n_wires = n_wires
+        self.signature = signature
+        self.instructions = instructions
+        self.groups = groups
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instructions)
+
+    def bind(self, inputs, weights, p, batch, with_grads) -> list:
+        """Resolve against ``(p, n_weights)`` weights (and flat inputs)."""
+        group_data = [g.bind(weights, p, with_grads) for g in self.groups]
+        return [
+            instr.bind(inputs, weights, p, batch, with_grads, group_data)
+            for instr in self.instructions
+        ]
+
+    def run(self, state, bound: list, p: int, batch: int, record=None):
+        """Execute the bound program on a ``(p * batch, 2**n)`` state.
+
+        Stacked instructions are *pure* — each apply returns a fresh array
+        and never mutates its input.  When ``record`` is a list, the
+        post-instruction state is appended (by reference, no copies) for
+        every instruction whose backward needs it; the adjoint walk then
+        reads the ket side from these checkpoints instead of un-applying
+        it, halving the dense work of the backward pass.
+        """
+        for instr, data in zip(self.instructions, bound):
+            state = instr.apply(state, data, p, batch)
+            if record is not None:
+                record.append(state if instr.needs_state(data) else None)
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"StackedPlan(wires={self.n_wires}, "
+            f"instructions={len(self.instructions)}, groups={len(self.groups)})"
+        )
+
+
+def _schedule_stacked(instructions: list) -> list:
+    """Commutation-aware peephole pass over the lowered instruction list.
+
+    Instructions on disjoint wires commute, which licenses three rewrites
+    that shrink the SEL hot loop (where Rot runs interleave with the CNOT
+    ring) without changing any output or gradient:
+
+    * a single-wire dense block merges with an earlier adjacent-wire single
+      reachable across disjoint instructions, forming one 4x4 kron block;
+    * an unmerged dense block slides before a trailing stretch of
+      disjoint-wire permutations, clustering the permutations together;
+    * consecutive permutations compose into a single index gather (one
+      gather per CNOT ring instead of one per CNOT).
+    """
+    out: list = []
+
+    def merge_pair(target: int, instr: _SDense) -> None:
+        prev = out[target]
+        low, high = sorted((prev, instr), key=lambda s: s.wires[0])
+        out[target] = _SDense(
+            (low.wires[0], high.wires[0]),
+            low.left,
+            high.right,
+            (low.slots[0], high.slots[0]),
+        )
+
+    for instr in instructions:
+        if isinstance(instr, _SDense) and len(instr.wires) == 1:
+            wire = instr.wires[0]
+            target = None
+            for j in range(len(out) - 1, -1, -1):
+                prev = out[j]
+                if (
+                    isinstance(prev, _SDense)
+                    and len(prev.wires) == 1
+                    and abs(prev.wires[0] - wire) == 1
+                ):
+                    target = j
+                    break
+                if wire in prev.touched:
+                    break
+            if target is not None:
+                merge_pair(target, instr)
+                continue
+            # No partner: slide before trailing disjoint permutations so the
+            # ring gathers end up adjacent (and later singles can reach us).
+            insert_at = len(out)
+            while (
+                insert_at > 0
+                and isinstance(out[insert_at - 1], _SPermutation)
+                and wire not in out[insert_at - 1].touched
+            ):
+                insert_at -= 1
+            out.insert(insert_at, instr)
+            continue
+        if isinstance(instr, _SPermutation) and out and isinstance(
+            out[-1], _SPermutation
+        ):
+            out[-1] = out[-1].compose(instr)
+            continue
+        out.append(instr)
+    return out
+
+
+def compile_stacked(circuit: Circuit) -> StackedPlan:
+    """Lower a circuit into a :class:`StackedPlan` (no caching)."""
+    n = circuit.n_wires
+    instructions: list = []
+    open_runs: dict[int, list[Operation]] = {}
+    group_index: dict[tuple, int] = {}
+    group_runs: list[list[tuple[Operation, ...]]] = []
+
+    def flush(wire: int) -> None:
+        members = open_runs.pop(wire, None)
+        if not members:
+            return
+        members = tuple(members)
+        if len(members) == 1:
+            op = members[0]
+            if op.name == "RZ":
+                instructions.append(
+                    _SDiagRZ(_wire_bit(n, wire), op.source, (wire,))
+                )
+                return
+            if op.name == "Z":
+                instructions.append(
+                    _SDiagSign(np.nonzero(_wire_bit(n, wire))[0], (wire,))
+                )
+                return
+            if op.name == "X":
+                indices = np.arange(2**n)
+                instructions.append(
+                    _SPermutation(indices ^ (1 << (n - 1 - wire)), (wire,))
+                )
+                return
+        static = all(
+            op.source is None or op.source[0] == "weight" for op in members
+        )
+        group = row = None
+        if static:
+            sig = tuple(
+                (op.name, None if op.source is None else op.source[0])
+                for op in members
+            )
+            group = group_index.setdefault(sig, len(group_runs))
+            if group == len(group_runs):
+                group_runs.append([])
+            row = len(group_runs[group])
+            group_runs[group].append(members)
+        left, right = 2**wire, 2 ** (n - 1 - wire)
+        instructions.append(
+            _SDense((wire,), left, right, ((members, group, row),))
+        )
+
+    for op in circuit.ops:
+        _validate_wires(op, n)
+        if len(op.wires) == 1 and op.name in _SINGLE_QUBIT:
+            open_runs.setdefault(op.wires[0], []).append(op)
+        else:
+            for wire in op.wires:
+                flush(wire)
+            lowered = _make_two_qubit_instruction(op, n)
+            if isinstance(lowered, _Permutation):
+                instructions.append(_SPermutation(lowered.perm, op.wires))
+            elif isinstance(lowered, _DiagSign):
+                instructions.append(_SDiagSign(lowered.idx, op.wires))
+            else:
+                instructions.append(
+                    _SDiagCRZ(lowered.idx10, lowered.idx11, op.source, op.wires)
+                )
+    for wire in sorted(open_runs):
+        flush(wire)
+
+    instructions = _schedule_stacked(instructions)
+    groups = [_SStaticGroup(runs) for runs in group_runs]
+    return StackedPlan(n, circuit_signature(circuit), instructions, groups)
+
+
+_SPLAN_CACHE: dict[tuple, StackedPlan] = {}
+
+
+def stacked_plan(circuit: Circuit) -> StackedPlan:
+    """The circuit's cached stacked plan, recompiled when structure changes."""
+    cached = getattr(circuit, "_stacked_plan", None)
+    signature = circuit_signature(circuit)
+    if cached is not None and cached.signature == signature:
+        return cached
+    plan = _SPLAN_CACHE.get(signature)
+    if plan is None:
+        plan = compile_stacked(circuit)
+        _SPLAN_CACHE[signature] = plan
+    circuit._stacked_plan = plan
     return plan

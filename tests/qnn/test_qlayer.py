@@ -110,15 +110,38 @@ class TestQuantumLayer:
             first = loss.item() if first is None else first
         assert loss.item() < first * 0.8
 
-    def test_wider_input_than_circuit(self):
-        # Extra columns beyond circuit.n_inputs are ignored but still get
-        # a (zero) gradient entry.
+    def test_wider_input_rejected_by_default(self):
+        # Feeding more features than the circuit consumes is a wiring bug:
+        # the layer must error loudly instead of silently training on a
+        # feature prefix.
         rng = np.random.default_rng(4)
         layer = QuantumLayer(angle_expval_circuit(2, 2, 1), rng=rng)
+        x = Tensor(rng.uniform(-1, 1, (2, 5)), requires_grad=True)
+        with pytest.raises(ValueError, match="input_prefix"):
+            layer(x)
+
+    def test_narrower_input_rejected(self):
+        layer = QuantumLayer(angle_expval_circuit(3, 3, 1))
+        with pytest.raises(ValueError, match="consumes 3"):
+            layer(Tensor(np.zeros((2, 2))))
+
+    def test_wider_input_with_prefix_opt_in(self):
+        # With input_prefix=True the extra columns are ignored but still get
+        # a (zero) gradient entry.
+        rng = np.random.default_rng(4)
+        layer = QuantumLayer(
+            angle_expval_circuit(2, 2, 1), rng=rng, input_prefix=True
+        )
         x = Tensor(rng.uniform(-1, 1, (2, 5)), requires_grad=True)
         layer(x).sum().backward()
         assert x.grad.shape == (2, 5)
         np.testing.assert_allclose(x.grad[:, 2:], 0.0)
+        # The prefix columns must match the exact-width gradient.
+        exact = Tensor(x.data[:, :2].copy(), requires_grad=True)
+        QuantumLayer(
+            angle_expval_circuit(2, 2, 1), rng=np.random.default_rng(4)
+        )(exact).sum().backward()
+        np.testing.assert_allclose(x.grad[:, :2], exact.grad, atol=1e-12)
 
 
 def _np_forward(layer, inputs):
