@@ -100,6 +100,34 @@ def bench_adjoint_backward_8q_5layers_naive(benchmark):
     assert grad_w.shape == (circuit.n_weights,)
 
 
+def bench_circuit_forward_8q_5layers_c64(benchmark):
+    """The compiled forward pass at float32/complex64 — the precision
+    policy's half-bandwidth mode (ratio vs. the complex128 bench above is
+    recorded as a ``_c64`` speedup by ``run_kernels.py``)."""
+    circuit = _sel_circuit()
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    out, __ = benchmark(
+        lambda: execute(circuit, inputs, weights, want_cache=False,
+                        dtype="float32")
+    )
+    assert out.shape == (32, 8)
+    assert out.dtype == np.float32
+
+
+def bench_adjoint_backward_8q_5layers_c64(benchmark):
+    """The compiled adjoint backward at float32/complex64."""
+    circuit = _sel_circuit()
+    rng = np.random.default_rng(1)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    outputs, cache = execute(circuit, inputs, weights, dtype="float32")
+    grad_out = rng.normal(size=outputs.shape)
+    grad_in, grad_w = benchmark(lambda: backward(cache, grad_out))
+    assert grad_w.shape == (circuit.n_weights,)
+
+
 def bench_compile_plan_8q_5layers(benchmark):
     """Cold-compile cost of the SQ encoder patch plan (paid once per shape)."""
     circuit = _sel_circuit()
@@ -142,7 +170,7 @@ def bench_patched_encoder_forward_1024(benchmark):
     assert out.shape == (32, 32)
 
 
-def _patched_encoder(n_patches, stacked, batch=32):
+def _patched_encoder(n_patches, stacked, batch=32, dtype=None):
     """A paper-scale patched encoder (1024 features, 5 SEL layers) + batch."""
     rng = np.random.default_rng(5)
     qubits = patch_qubits(1024, n_patches)
@@ -153,8 +181,13 @@ def _patched_encoder(n_patches, stacked, batch=32):
         n_patches=n_patches,
         rng=rng,
         stacked=stacked,
+        dtype=dtype,
     )
-    x = Tensor(np.abs(rng.normal(size=(batch, 1024))) + 0.01, requires_grad=True)
+    x = Tensor(
+        np.abs(rng.normal(size=(batch, 1024))) + 0.01,
+        requires_grad=True,
+        dtype=None if dtype is None else layer.precision.real,
+    )
     return layer, x
 
 
@@ -214,6 +247,26 @@ def bench_patched_fwd_bwd_p8_b8_naive(benchmark):
     layer, x = _patched_encoder(8, stacked=False, batch=8)
     out = benchmark(_patched_step(layer, x))
     assert out.shape == (8, 56)
+
+
+def bench_patched_fwd_bwd_p8_c64(benchmark):
+    """Stacked p=8/batch=32 training pass at float32/complex64 — the
+    bandwidth-bound large-batch regime where the per-patch statevector
+    arrays saturate memory bandwidth at complex128; halving the bytes per
+    kernel is the precision policy's headline win (ratio vs. the complex128
+    ``bench_patched_fwd_bwd_p8`` is recorded as a ``_c64`` speedup)."""
+    layer, x = _patched_encoder(8, stacked=True, dtype="float32")
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (32, 56)
+    assert out.data.dtype == np.float32
+
+
+def bench_patched_fwd_bwd_p16_c64(benchmark):
+    """Stacked p=16/batch=32 training pass at float32/complex64."""
+    layer, x = _patched_encoder(16, stacked=True, dtype="float32")
+    out = benchmark(_patched_step(layer, x))
+    assert out.shape == (32, 96)
+    assert out.data.dtype == np.float32
 
 
 def bench_sq_ae_training_step(benchmark):

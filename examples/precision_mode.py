@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Precision mode: train the scalable quantum autoencoder in float32.
+
+The stacked statevector passes behind ``PatchedQuantumLayer`` are memory-
+bandwidth-bound at paper scale, so halving the bytes per kernel (float32
+parameters, complex64 states) buys a large chunk of wall-clock per training
+step while gradients stay accurate to ~1e-4 — far below the step noise Adam
+sees anyway.  float64 stays the default everywhere; single precision is an
+explicit opt-in via ``dtype="float32"`` (or a ``use_precision`` scope).
+
+Run:
+    python examples/precision_mode.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.models import ScalableQuantumAE
+from repro.nn import Tensor, functional as F, use_precision
+
+INPUT_DIM = 1024
+N_PATCHES = 8
+BATCH = 32
+STEPS = 3
+
+
+def build(dtype):
+    return ScalableQuantumAE(
+        input_dim=INPUT_DIM,
+        n_patches=N_PATCHES,
+        n_layers=5,
+        rng=np.random.default_rng(0),
+        dtype=dtype,
+    )
+
+
+def training_step_time(model, x, policy):
+    from repro.nn import heterogeneous_adam
+
+    optimizer = heterogeneous_adam(model, quantum_lr=0.03, classical_lr=0.01)
+
+    def step():
+        optimizer.zero_grad()
+        out = model(x)
+        loss = F.mse_loss(out.reconstruction, x)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    with use_precision(policy):
+        step()  # warmup (plan compilation, allocator)
+        best = float("inf")
+        for _ in range(STEPS):
+            start = time.perf_counter()
+            loss = step()
+            best = min(best, time.perf_counter() - start)
+    return best, loss
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    features = np.abs(rng.normal(size=(BATCH, INPUT_DIM))) + 0.01
+
+    # 1. Same weights, two precisions: forward passes agree to ~1e-5.
+    m64, m32 = build("float64"), build("float32")
+    out64 = m64(Tensor(features)).reconstruction.data
+    out32 = m32(Tensor(features, dtype=np.float32)).reconstruction.data
+    print(f"float32 reconstruction dtype: {out32.dtype}")
+    print(f"max |float32 - float64| deviation: {np.abs(out32 - out64).max():.2e}")
+
+    # 2. Wall-clock per optimizer step (p=8, batch=32 — the bandwidth-bound
+    #    stacked regime; see BENCH_kernels.json speedup_c64_vs_c128).
+    t64, loss64 = training_step_time(m64, Tensor(features), "float64")
+    t32, loss32 = training_step_time(
+        m32, Tensor(features, dtype=np.float32), "float32"
+    )
+    print(f"float64 step: {t64 * 1e3:7.1f} ms (loss {loss64:.5f})")
+    print(f"float32 step: {t32 * 1e3:7.1f} ms (loss {loss32:.5f})")
+    print(f"speedup: {t64 / t32:.2f}x")
+
+    # 3. The mixed policy: float32 compute, float64 gradient accumulation —
+    #    the stability middle ground for long runs.
+    m32.zero_grad()
+    with use_precision("mixed32"):
+        out = m32(Tensor(features, dtype=np.float32))
+        F.mse_loss(out.reconstruction, Tensor(features, dtype=np.float32)).backward()
+    grad = m32.latent_map.weight.grad
+    print(f"mixed32: params {m32.latent_map.weight.data.dtype}, "
+          f"grads accumulate in {grad.dtype}")
+
+
+if __name__ == "__main__":
+    main()

@@ -131,7 +131,8 @@ class VariationalMixin:
     def reparameterize(self, mu: Tensor, logvar: Tensor) -> Tensor:
         """z = mu + sigma * eps with eps ~ N(0, I) from the seeded stream."""
         eps = self._noise_rng().normal(size=mu.shape)
-        return mu + (logvar * 0.5).exp() * Tensor(eps)
+        # Noise adopts the latent dtype so float32 models stay float32.
+        return mu + (logvar * 0.5).exp() * Tensor(eps, dtype=mu.dtype)
 
     def forward(self, x: Tensor) -> AutoencoderOutput:
         mu, logvar = self.encode_distribution(x)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.modules import Linear
+from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor
 from ..qnn.circuits import amplitude_encoder_circuit, probs_decoder_circuit
 from ..qnn.qlayer import QuantumLayer
@@ -47,15 +48,22 @@ class FullyQuantumAE(Autoencoder):
         input_dim: int = 64,
         n_layers: int = 3,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ):
         n_wires = _n_wires_for(input_dim)
         super().__init__(input_dim, latent_dim=n_wires)
         rng = rng if rng is not None else np.random.default_rng(0)
+        precision = resolve_precision(dtype)
+        self.precision = precision
         self.n_layers = n_layers
         self.encoder_q = QuantumLayer(
-            amplitude_encoder_circuit(n_wires, input_dim, n_layers), rng=rng
+            amplitude_encoder_circuit(n_wires, input_dim, n_layers),
+            rng=rng,
+            dtype=precision,
         )
-        self.decoder_q = QuantumLayer(probs_decoder_circuit(n_wires, n_layers), rng=rng)
+        self.decoder_q = QuantumLayer(
+            probs_decoder_circuit(n_wires, n_layers), rng=rng, dtype=precision
+        )
 
     def encode(self, x: Tensor) -> Tensor:
         return self.encoder_q(x)
@@ -73,11 +81,16 @@ class FullyQuantumVAE(VariationalMixin, FullyQuantumAE):
         n_layers: int = 3,
         rng: np.random.Generator | None = None,
         noise_seed: int = 0,
+        dtype=None,
     ):
-        FullyQuantumAE.__init__(self, input_dim, n_layers, rng)
+        FullyQuantumAE.__init__(self, input_dim, n_layers, rng, dtype=dtype)
         rng = rng if rng is not None else np.random.default_rng(1)
-        self.mu_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
-        self.logvar_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.mu_head = Linear(
+            self.latent_dim, self.latent_dim, rng=rng, dtype=self.precision
+        )
+        self.logvar_head = Linear(
+            self.latent_dim, self.latent_dim, rng=rng, dtype=self.precision
+        )
         self.seed_noise(noise_seed)
 
     def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:
@@ -93,17 +106,24 @@ class HybridQuantumAE(Autoencoder):
         input_dim: int = 64,
         n_layers: int = 3,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ):
         n_wires = _n_wires_for(input_dim)
         super().__init__(input_dim, latent_dim=n_wires)
         rng = rng if rng is not None else np.random.default_rng(0)
+        precision = resolve_precision(dtype)
+        self.precision = precision
         self.n_layers = n_layers
         self.encoder_q = QuantumLayer(
-            amplitude_encoder_circuit(n_wires, input_dim, n_layers), rng=rng
+            amplitude_encoder_circuit(n_wires, input_dim, n_layers),
+            rng=rng,
+            dtype=precision,
         )
-        self.decoder_q = QuantumLayer(probs_decoder_circuit(n_wires, n_layers), rng=rng)
-        self.latent_map = Linear(n_wires, n_wires, rng=rng)
-        self.output_map = Linear(input_dim, input_dim, rng=rng)
+        self.decoder_q = QuantumLayer(
+            probs_decoder_circuit(n_wires, n_layers), rng=rng, dtype=precision
+        )
+        self.latent_map = Linear(n_wires, n_wires, rng=rng, dtype=precision)
+        self.output_map = Linear(input_dim, input_dim, rng=rng, dtype=precision)
 
     def encode(self, x: Tensor) -> Tensor:
         return self.latent_map(self.encoder_q(x))
@@ -124,11 +144,16 @@ class HybridQuantumVAE(VariationalMixin, HybridQuantumAE):
         n_layers: int = 3,
         rng: np.random.Generator | None = None,
         noise_seed: int = 0,
+        dtype=None,
     ):
-        HybridQuantumAE.__init__(self, input_dim, n_layers, rng)
+        HybridQuantumAE.__init__(self, input_dim, n_layers, rng, dtype=dtype)
         rng = rng if rng is not None else np.random.default_rng(1)
-        self.mu_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
-        self.logvar_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.mu_head = Linear(
+            self.latent_dim, self.latent_dim, rng=rng, dtype=self.precision
+        )
+        self.logvar_head = Linear(
+            self.latent_dim, self.latent_dim, rng=rng, dtype=self.precision
+        )
         self.seed_noise(noise_seed)
 
     def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:

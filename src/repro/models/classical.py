@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from ..nn.modules import Linear, Module, ReLU, Sequential
+from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor
 from .base import Autoencoder, VariationalMixin
 
@@ -34,10 +35,11 @@ def _mlp(
     dims: Sequence[int],
     rng: np.random.Generator,
     final_activation: bool,
+    dtype=None,
 ) -> Sequential:
     layers: list[Module] = []
     for index in range(len(dims) - 1):
-        layers.append(Linear(dims[index], dims[index + 1], rng=rng))
+        layers.append(Linear(dims[index], dims[index + 1], rng=rng, dtype=dtype))
         if index < len(dims) - 2 or final_activation:
             layers.append(ReLU())
     return Sequential(*layers)
@@ -52,9 +54,12 @@ class ClassicalAE(Autoencoder):
         latent_dim: int = 6,
         hidden_dims: Sequence[int] | None = None,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ):
         super().__init__(input_dim, latent_dim)
         rng = rng if rng is not None else np.random.default_rng(0)
+        precision = resolve_precision(dtype)
+        self.precision = precision
         hidden = tuple(
             hidden_dims if hidden_dims is not None else default_hidden_dims(input_dim)
         )
@@ -62,12 +67,14 @@ class ClassicalAE(Autoencoder):
         # Encoder: "3 hidden linear layers followed by ReLU activation for
         # reducing the dimensions to 32, 16, and 6" (Section III-B).
         self.encoder = _mlp(
-            (input_dim, *hidden, latent_dim), rng, final_activation=True
+            (input_dim, *hidden, latent_dim), rng, final_activation=True,
+            dtype=precision,
         )
         # Decoder mirrors the dims "in a reversed order"; the output layer
         # stays linear so original-scale features are reachable.
         self.decoder = _mlp(
-            (latent_dim, *reversed(hidden), input_dim), rng, final_activation=False
+            (latent_dim, *reversed(hidden), input_dim), rng,
+            final_activation=False, dtype=precision,
         )
 
     def encode(self, x: Tensor) -> Tensor:
@@ -90,11 +97,18 @@ class ClassicalVAE(VariationalMixin, ClassicalAE):
         hidden_dims: Sequence[int] | None = None,
         rng: np.random.Generator | None = None,
         noise_seed: int = 0,
+        dtype=None,
     ):
-        ClassicalAE.__init__(self, input_dim, latent_dim, hidden_dims, rng)
+        ClassicalAE.__init__(
+            self, input_dim, latent_dim, hidden_dims, rng, dtype=dtype
+        )
         rng = rng if rng is not None else np.random.default_rng(1)
-        self.mu_head = Linear(latent_dim, latent_dim, rng=rng)
-        self.logvar_head = Linear(latent_dim, latent_dim, rng=rng)
+        self.mu_head = Linear(
+            latent_dim, latent_dim, rng=rng, dtype=self.precision
+        )
+        self.logvar_head = Linear(
+            latent_dim, latent_dim, rng=rng, dtype=self.precision
+        )
         self.seed_noise(noise_seed)
 
     def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:

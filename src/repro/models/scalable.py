@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.modules import Linear
+from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor
 from ..qnn.circuits import amplitude_encoder_circuit, angle_expval_circuit
 from ..qnn.patched import PatchedQuantumLayer, patch_qubits
@@ -33,7 +34,13 @@ DEFAULT_SQ_LAYERS = 5  # selected by the paper's depth ablation (Fig. 6)
 
 
 class ScalableQuantumAE(Autoencoder):
-    """SQ-AE: patched quantum encoder/decoder with a classical output map."""
+    """SQ-AE: patched quantum encoder/decoder with a classical output map.
+
+    ``dtype`` selects the model precision end to end (quantum weights and
+    statevector passes plus classical maps); None follows the active
+    precision policy — float64 by default, ``dtype="float32"`` trains the
+    whole autoencoder in single precision.
+    """
 
     def __init__(
         self,
@@ -41,11 +48,14 @@ class ScalableQuantumAE(Autoencoder):
         n_patches: int = 4,
         n_layers: int = DEFAULT_SQ_LAYERS,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ):
         qubits = patch_qubits(input_dim, n_patches)
         latent_dim = n_patches * qubits
         super().__init__(input_dim, latent_dim)
         rng = rng if rng is not None else np.random.default_rng(0)
+        precision = resolve_precision(dtype)
+        self.precision = precision
         self.n_patches = n_patches
         self.n_layers = n_layers
         self.qubits_per_patch = qubits
@@ -57,14 +67,16 @@ class ScalableQuantumAE(Autoencoder):
             ),
             n_patches=n_patches,
             rng=rng,
+            dtype=precision,
         )
         self.decoder_q = PatchedQuantumLayer(
             lambda i: angle_expval_circuit(qubits, qubits, n_layers),
             n_patches=n_patches,
             rng=rng,
+            dtype=precision,
         )
-        self.latent_map = Linear(latent_dim, latent_dim, rng=rng)
-        self.output_map = Linear(latent_dim, input_dim, rng=rng)
+        self.latent_map = Linear(latent_dim, latent_dim, rng=rng, dtype=precision)
+        self.output_map = Linear(latent_dim, input_dim, rng=rng, dtype=precision)
 
     def encode(self, x: Tensor) -> Tensor:
         return self.latent_map(self.encoder_q(x))
@@ -86,11 +98,18 @@ class ScalableQuantumVAE(VariationalMixin, ScalableQuantumAE):
         n_layers: int = DEFAULT_SQ_LAYERS,
         rng: np.random.Generator | None = None,
         noise_seed: int = 0,
+        dtype=None,
     ):
-        ScalableQuantumAE.__init__(self, input_dim, n_patches, n_layers, rng)
+        ScalableQuantumAE.__init__(
+            self, input_dim, n_patches, n_layers, rng, dtype=dtype
+        )
         rng = rng if rng is not None else np.random.default_rng(1)
-        self.mu_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
-        self.logvar_head = Linear(self.latent_dim, self.latent_dim, rng=rng)
+        self.mu_head = Linear(
+            self.latent_dim, self.latent_dim, rng=rng, dtype=self.precision
+        )
+        self.logvar_head = Linear(
+            self.latent_dim, self.latent_dim, rng=rng, dtype=self.precision
+        )
         self.seed_noise(noise_seed)
 
     def encode_distribution(self, x: Tensor) -> tuple[Tensor, Tensor]:

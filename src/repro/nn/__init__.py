@@ -21,6 +21,16 @@ from .modules import (
     Tanh,
 )
 from .optim import SGD, Adam, Optimizer, heterogeneous_adam
+from .precision import (
+    FLOAT32,
+    FLOAT64,
+    MIXED32,
+    Precision,
+    default_precision,
+    resolve_precision,
+    set_default_precision,
+    use_precision,
+)
 from .serialization import load_module, module_fingerprint, save_module
 from .schedulers import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
 from .tensor import Tensor, is_grad_enabled, no_grad
@@ -52,4 +62,12 @@ __all__ = [
     "module_fingerprint",
     "functional",
     "init",
+    "Precision",
+    "FLOAT64",
+    "FLOAT32",
+    "MIXED32",
+    "default_precision",
+    "set_default_precision",
+    "use_precision",
+    "resolve_precision",
 ]

@@ -1,14 +1,44 @@
 """Weight initialization schemes.
 
 All initializers take an explicit :class:`numpy.random.Generator` so that
-every experiment in the reproduction is seeded end to end.
+every experiment in the reproduction is seeded end to end.  Layers that are
+constructed *without* a generator fall back to :func:`fresh_rng`, which
+derives a distinct deterministic stream per call — previously every such
+layer silently reused ``np.random.default_rng(0)`` and therefore drew
+identical weights.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["xavier_uniform", "kaiming_uniform", "uniform", "normal", "zeros"]
+__all__ = [
+    "xavier_uniform",
+    "kaiming_uniform",
+    "uniform",
+    "normal",
+    "zeros",
+    "fresh_rng",
+]
+
+# Root of the default-initialization entropy tree.  ``spawn`` advances an
+# internal child counter, so successive fresh_rng() calls hand out distinct,
+# deterministic streams (run-to-run reproducible in construction order).
+_DEFAULT_SEED_ROOT = np.random.SeedSequence(0)
+
+
+def fresh_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Return ``rng`` unchanged, or a distinct deterministic default stream.
+
+    The fallback used by ``Linear``/``QuantumLayer``/``PatchedQuantumLayer``
+    when no generator is passed: each call spawns a new child of one root
+    seed sequence, so two default-constructed layers no longer initialize
+    from the same stream.  Pass an explicit generator (as every experiment
+    entry point does) for exact end-to-end seeding.
+    """
+    if rng is not None:
+        return rng
+    return np.random.default_rng(_DEFAULT_SEED_ROOT.spawn(1)[0])
 
 
 def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:

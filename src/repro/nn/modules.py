@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Iterator
 import numpy as np
 
 from . import init as initializers
+from .precision import resolve_precision
 from .tensor import Tensor
 
 __all__ = [
@@ -32,8 +33,8 @@ __all__ = [
 class Parameter(Tensor):
     """A trainable tensor; distinguished from activations by its type."""
 
-    def __init__(self, data, group: str = "classical", name: str = ""):
-        super().__init__(data, requires_grad=True, name=name)
+    def __init__(self, data, group: str = "classical", name: str = "", dtype=None):
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
         self.group = group
 
     __slots__ = ("group",)
@@ -113,12 +114,20 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters from a dotted-name -> array mapping.
+
+        The stored floating dtype is preserved (a float32 checkpoint
+        rehydrates as float32 parameters); non-float payloads are cast to
+        float64.
+        """
         params = dict(self.named_parameters())
         missing = set(params) - set(state)
         if missing:
             raise KeyError(f"state dict missing parameters: {sorted(missing)}")
         for name, param in params.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name])
+            if value.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+                value = value.astype(np.float64)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
@@ -134,7 +143,12 @@ class Module:
 
 
 class Linear(Module):
-    """Affine layer ``y = x W^T + b`` with Kaiming-uniform weights."""
+    """Affine layer ``y = x W^T + b`` with Kaiming-uniform weights.
+
+    ``dtype`` selects the parameter precision (a real dtype, a policy name,
+    or a :class:`~repro.nn.precision.Precision`); None follows the active
+    precision policy (float64 by default).
+    """
 
     def __init__(
         self,
@@ -143,18 +157,24 @@ class Linear(Module):
         bias: bool = True,
         rng: np.random.Generator | None = None,
         group: str = "classical",
+        dtype=None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = initializers.fresh_rng(rng)
+        real = resolve_precision(dtype).real
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
-            initializers.kaiming_uniform((out_features, in_features), rng), group=group
+            initializers.kaiming_uniform((out_features, in_features), rng),
+            group=group,
+            dtype=real,
         )
         if bias:
             bound = 1.0 / np.sqrt(in_features)
             self.bias = Parameter(
-                initializers.uniform((out_features,), rng, -bound, bound), group=group
+                initializers.uniform((out_features,), rng, -bound, bound),
+                group=group,
+                dtype=real,
             )
         else:
             self.bias = None

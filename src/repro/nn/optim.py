@@ -73,7 +73,11 @@ class SGD(Optimizer):
                     update = vel
                 else:
                     update = param.grad
-                param.data = param.data - lr * update
+                # Cast back so float64-accumulated gradients never silently
+                # widen float32 parameters.
+                param.data = (param.data - lr * update).astype(
+                    param.data.dtype, copy=False
+                )
 
 
 class Adam(Optimizer):
@@ -110,7 +114,11 @@ class Adam(Optimizer):
                 self._v[key] = v
                 m_hat = m / (1.0 - beta1**t)
                 v_hat = v / (1.0 - beta2**t)
-                param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + eps)
+                # Cast back so float64-accumulated gradients (the mixed32
+                # policy) never silently widen float32 parameters.
+                param.data = (
+                    param.data - lr * m_hat / (np.sqrt(v_hat) + eps)
+                ).astype(param.data.dtype, copy=False)
 
 
 def heterogeneous_adam(

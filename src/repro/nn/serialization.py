@@ -5,6 +5,13 @@ metadata) in a single compressed numpy archive; ``load_module`` restores
 them into a freshly constructed module of the same architecture.  This is
 the reproduction's checkpoint format — no pickle, so checkpoints are
 portable and safe to share.
+
+Parameter dtype round-trips: ``.npz`` stores each array verbatim and
+``load_state_dict`` preserves the stored floating dtype, so a ``float32``
+checkpoint rehydrates as ``float32`` parameters (it used to be silently
+widened to ``float64``).  Note that a layer's *execution* precision is
+fixed at construction — to run a float32 checkpoint at complex64, build
+the target module with ``dtype="float32"`` before loading.
 """
 
 from __future__ import annotations

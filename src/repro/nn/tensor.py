@@ -1,8 +1,8 @@
 """Reverse-mode automatic differentiation on numpy arrays.
 
 This module is the substrate that replaces PyTorch's autograd for the
-reproduction.  A :class:`Tensor` wraps a ``float64`` numpy array together with
-an optional gradient buffer and a backward closure.  Calling
+reproduction.  A :class:`Tensor` wraps a floating-point numpy array together
+with an optional gradient buffer and a backward closure.  Calling
 :meth:`Tensor.backward` on a scalar result propagates gradients to every leaf
 tensor created with ``requires_grad=True``.
 
@@ -13,8 +13,15 @@ Design notes
   the original shape.
 * The graph is dynamic (define-by-run) and torn down after ``backward`` unless
   ``retain_graph=True`` is passed.
-* Only float64 is supported; this keeps quantum-gradient cross-checks against
-  the parameter-shift rule exact to machine precision.
+* Tensors are dtype-parameterized over the real dtypes of
+  :mod:`repro.nn.precision` (``float32`` / ``float64``).  Explicit arrays
+  keep their dtype; non-array data follows the active precision policy
+  (``float64`` by default, so parameter-shift gradient cross-checks stay
+  exact to machine precision).  Ops propagate their operands' dtype —
+  scalar operands are coerced to the tensor's dtype so float32 chains never
+  silently widen — and gradient buffers accumulate in
+  :func:`repro.nn.precision.grad_dtype`, which the ``mixed32`` policy
+  widens to float64 for mixed-precision stability.
 """
 
 from __future__ import annotations
@@ -23,9 +30,14 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .precision import default_precision, grad_dtype
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = [True]
+
+# Dtypes a Tensor may hold; everything else is cast to the policy default.
+_REAL_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 class no_grad:
@@ -45,9 +57,25 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED[0]
 
 
-def _as_array(value) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float64)
-    return arr
+def _validated_dtype(dtype) -> np.dtype:
+    dtype = np.dtype(dtype)
+    if dtype not in _REAL_DTYPES:
+        raise TypeError(f"Tensor dtype must be float32 or float64, got {dtype}")
+    return dtype
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    """Coerce to a supported floating array.
+
+    With an explicit ``dtype`` the value is cast to it; otherwise arrays
+    already holding a supported real dtype are kept as-is (dtype
+    propagation) and everything else follows the active precision policy.
+    """
+    if dtype is not None:
+        return np.asarray(value, dtype=_validated_dtype(dtype))
+    if isinstance(value, (np.ndarray, np.generic)) and value.dtype in _REAL_DTYPES:
+        return np.asarray(value)
+    return np.asarray(value, dtype=default_precision().real)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -70,8 +98,10 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
 
-    def __init__(self, data, requires_grad: bool = False, name: str = ""):
-        self.data = _as_array(data)
+    def __init__(
+        self, data, requires_grad: bool = False, name: str = "", dtype=None
+    ):
+        self.data = _as_array(data, dtype=dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[], None] | None = None
@@ -82,12 +112,20 @@ class Tensor:
     # Construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = (
+            _validated_dtype(dtype) if dtype is not None
+            else default_precision().real
+        )
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = (
+            _validated_dtype(dtype) if dtype is not None
+            else default_precision().real
+        )
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
 
     @staticmethod
     def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
@@ -99,6 +137,10 @@ class Tensor:
     @property
     def shape(self) -> tuple:
         return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def ndim(self) -> int:
@@ -119,6 +161,17 @@ class Tensor:
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast; the gradient is cast back on backward."""
+        dtype = _validated_dtype(dtype)
+        source = self.data.dtype
+
+        def backward(out: Tensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.astype(source, copy=False))
+
+        return Tensor._make(self.data.astype(dtype, copy=False), (self,), backward)
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         flag = ", requires_grad=True" if self.requires_grad else ""
         return f"Tensor(shape={self.data.shape}{flag})"
@@ -131,9 +184,11 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=grad_dtype(self.data.dtype), copy=True)
         else:
-            self.grad = self.grad + grad
+            # Keep the buffer dtype stable: a float64 contribution must not
+            # silently widen a float32 accumulator mid-backward.
+            self.grad = (self.grad + grad).astype(self.grad.dtype, copy=False)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -155,7 +210,7 @@ class Tensor:
                     f"tensor, got shape {self.data.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -211,11 +266,21 @@ class Tensor:
             out._backward = _run
         return out
 
+    def _coerce(self, other) -> "Tensor":
+        """Wrap a non-Tensor operand; scalars adopt this tensor's dtype so
+        ``float32_tensor * 2.0`` stays float32 regardless of policy."""
+        if isinstance(other, Tensor):
+            return other
+        arr = np.asarray(other)
+        if arr.ndim == 0:
+            return Tensor(arr.astype(self.data.dtype))
+        return Tensor(arr)
+
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             if self.requires_grad:
@@ -235,7 +300,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             if self.requires_grad:
@@ -246,10 +311,10 @@ class Tensor:
         return Tensor._make(self.data - other.data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor(other) - self
+        return self._coerce(other) - self
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             if self.requires_grad:
@@ -262,7 +327,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             if self.requires_grad:
@@ -275,7 +340,7 @@ class Tensor:
         return Tensor._make(self.data / other.data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -288,7 +353,7 @@ class Tensor:
         return Tensor._make(self.data**exponent, (self,), backward)
 
     def __matmul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
 
         def backward(out: Tensor) -> None:
             grad = out.grad

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.init import fresh_rng
 from ..nn.modules import Module, ModuleList
+from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor, is_grad_enabled
 from ..quantum.autodiff import backward_stacked, execute_stacked
 from ..quantum.circuit import Circuit
@@ -80,6 +82,10 @@ class PatchedQuantumLayer(Module):
         docstring).  On by default; only takes effect when every patch
         circuit is structurally identical, otherwise the layer silently
         uses the sequential per-patch loop.
+    dtype:
+        Precision spec resolved at construction and shared by every patch:
+        weights live in its real dtype, the stacked pass runs at its paired
+        complex dtype.  None follows the active precision policy.
     """
 
     def __init__(
@@ -89,18 +95,25 @@ class PatchedQuantumLayer(Module):
         rng: np.random.Generator | None = None,
         init_scale: float = np.pi,
         stacked: bool = True,
+        dtype=None,
     ):
         super().__init__()
         if n_patches < 1:
             raise ValueError("need at least one patch")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = fresh_rng(rng)
         self.n_patches = n_patches
+        self.precision = resolve_precision(dtype)
         # Each QuantumLayer compiles its circuit at construction; structurally
         # identical patch circuits (the common case: one factory with
         # per-patch weights) dedupe to a single shared plan in the engine's
         # structural cache, so p patches pay compilation once.
         self.patches = ModuleList(
-            QuantumLayer(circuit_factory(i), rng=rng, init_scale=init_scale)
+            QuantumLayer(
+                circuit_factory(i),
+                rng=rng,
+                init_scale=init_scale,
+                dtype=self.precision,
+            )
             for i in range(n_patches)
         )
         in_dims = {patch.circuit.n_inputs for patch in self.patches}
@@ -146,7 +159,7 @@ class PatchedQuantumLayer(Module):
         batch = x.shape[0]
         p, per_in = self.n_patches, self.inputs_per_patch
         inputs = np.ascontiguousarray(
-            np.asarray(x.data, dtype=np.float64)
+            np.asarray(x.data, dtype=self.precision.real)
             .reshape(batch, p, per_in)
             .transpose(1, 0, 2)
         )
@@ -156,7 +169,8 @@ class PatchedQuantumLayer(Module):
             or any(patch.weights.requires_grad for patch in self.patches)
         )
         stacked_out, cache = execute_stacked(
-            self._template, inputs, weights, want_cache=track
+            self._template, inputs, weights, want_cache=track,
+            dtype=self.precision,
         )
         per_out = stacked_out.shape[2]
         out = Tensor(

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..nn.init import fresh_rng
 from ..nn.modules import Module, Parameter
+from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor, is_grad_enabled
 from ..quantum.autodiff import backward as q_backward
 from ..quantum.autodiff import execute as q_execute
@@ -41,6 +43,11 @@ class QuantumLayer(Module):
         mismatch is almost always a wiring bug, and silently training on an
         unintended feature prefix corrupts gradients without any error, so
         the assumption must be opted into explicitly.
+    dtype:
+        Precision spec (:func:`repro.nn.precision.resolve_precision`)
+        resolved at construction: the rotation weights live in its real
+        dtype and every execution runs at its paired complex dtype.  None
+        follows the active precision policy (float64 by default).
     """
 
     def __init__(
@@ -49,19 +56,22 @@ class QuantumLayer(Module):
         rng: np.random.Generator | None = None,
         init_scale: float = np.pi,
         input_prefix: bool = False,
+        dtype=None,
     ):
         super().__init__()
         if circuit.measurement is None:
             raise ValueError("QuantumLayer requires a measured circuit")
         self.circuit = circuit
         self.input_prefix = bool(input_prefix)
+        self.precision = resolve_precision(dtype)
         # Pay plan compilation at construction; every forward/backward then
         # binds and runs the cached program.
         compiled_plan(circuit)
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = fresh_rng(rng)
         self.weights = Parameter(
             rng.uniform(-init_scale, init_scale, size=circuit.n_weights),
             group="quantum",
+            dtype=self.precision.real,
         )
 
     @property
@@ -75,7 +85,7 @@ class QuantumLayer(Module):
         graph: backward computes exact gradients for both the rotation
         weights and (when the circuit embeds inputs) the input features.
         """
-        inputs = None if x is None else np.asarray(x.data, dtype=np.float64)
+        inputs = None if x is None else np.asarray(x.data, dtype=self.precision.real)
         if inputs is not None and inputs.shape[-1] != self.circuit.n_inputs:
             if not (self.input_prefix and inputs.shape[-1] > self.circuit.n_inputs):
                 hint = (
@@ -93,7 +103,11 @@ class QuantumLayer(Module):
             self.weights.requires_grad or (x is not None and x.requires_grad)
         )
         outputs, cache = q_execute(
-            self.circuit, inputs, self.weights.data, want_cache=track
+            self.circuit,
+            inputs,
+            self.weights.data,
+            want_cache=track,
+            dtype=self.precision,
         )
         out = Tensor(outputs)
         if not track:

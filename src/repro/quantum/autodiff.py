@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.precision import Precision, real_dtype_for, resolve_precision
 from . import gates as G
 from .circuit import Circuit, Operation
 from .engine import (
@@ -111,7 +112,7 @@ class StackedExecutionCache:
 
 
 def prepare_amplitude_state(
-    features: np.ndarray, n_wires: int, zero_fallback: bool = False
+    features: np.ndarray, n_wires: int, zero_fallback: bool = False, dtype=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Amplitude-embed a ``(batch, d)`` feature block into ``(batch, 2**n)``.
 
@@ -119,49 +120,66 @@ def prepare_amplitude_state(
     sample (PennyLane's ``AmplitudeEmbedding(pad_with=0, normalize=True)``).
     Returns the complex state and the per-sample norms (needed for input
     gradients).  All-zero samples raise unless ``zero_fallback`` is set, in
-    which case they embed as |0...0> with zero gradient.
+    which case they embed as |0...0> with zero gradient.  ``dtype`` selects
+    the precision pair (None follows the active policy).
     """
-    state, norms, _zero_rows = _prepare_amplitude(features, n_wires, zero_fallback)
+    state, norms, _zero_rows = _prepare_amplitude(
+        features, n_wires, zero_fallback, resolve_precision(dtype)
+    )
     return state, norms
 
 
-# Rows with norms below this are treated as zero.  Under sqrt(tiny) the
-# squared feature values that build the norm are subnormal (or flushed to
-# zero outright), so the computed norm has lost most of its mantissa and
+# Rows with norms below sqrt(tiny) are treated as zero: under that cutoff
+# the squared feature values that build the norm are subnormal (or flushed
+# to zero outright), so the computed norm has lost most of its mantissa and
 # normalizing by it — or dividing gradients by it — is numerically
 # meaningless.  The old 1e-300 guard let such rows through.
-_NORM_EPS = float(np.sqrt(np.finfo(np.float64).tiny))  # ~1.5e-154
+def _norm_eps(real_dtype) -> float:
+    """The subnormal-norm cutoff at the embedding's real precision."""
+    return float(np.sqrt(np.finfo(real_dtype).tiny))  # ~1.1e-19 for float32
+
+
+_NORM_EPS = _norm_eps(np.float64)  # ~1.5e-154, the float64 cutoff
 
 
 def _prepare_amplitude(
-    features: np.ndarray, n_wires: int, zero_fallback: bool
+    features: np.ndarray,
+    n_wires: int,
+    zero_fallback: bool,
+    prec: Precision | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Like :func:`prepare_amplitude_state` but also returns the zero mask."""
+    if prec is None:
+        prec = resolve_precision(None)
     batch, d = features.shape
     dim = 2**n_wires
-    padded = np.zeros((batch, dim), dtype=np.float64)
+    padded = np.zeros((batch, dim), dtype=prec.real)
     padded[:, :d] = features
     norms = np.linalg.norm(padded, axis=1)
-    zero_rows = norms < _NORM_EPS
+    eps = _norm_eps(prec.real)
+    zero_rows = norms < eps
     if np.any(zero_rows):
         if not zero_fallback:
             raise ValueError(
                 "amplitude embedding requires feature vectors with norm >= "
-                f"{_NORM_EPS:.3g} (rows below that cannot be normalized at "
-                "double precision); pass zero_fallback=True to embed them "
-                "as |0...0>"
+                f"{eps:.3g} (rows below that cannot be normalized at "
+                f"{prec.real} precision); pass zero_fallback=True to embed "
+                "them as |0...0>"
             )
         padded[zero_rows, 0] = 1.0
-        norms = np.where(zero_rows, 1.0, norms)
-    state = (padded / norms[:, None]).astype(np.complex128)
+        norms = np.where(zero_rows, prec.real.type(1.0), norms)
+    state = (padded / norms[:, None]).astype(prec.complex)
     return state, norms, zero_rows
 
 
 def _gate_matrix(
-    op: Operation, inputs: np.ndarray | None, weights: np.ndarray
+    op: Operation,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    cdtype=np.complex128,
 ) -> np.ndarray:
     if op.source is None:
-        return G.FIXED_GATES[op.name]
+        return G.fixed_gate(op.name, cdtype)
     kind, index = op.source
     if kind == "weight":
         theta = weights[index]
@@ -169,28 +187,32 @@ def _gate_matrix(
         if inputs is None:
             raise ValueError(f"operation {op} needs inputs but none were given")
         theta = inputs[:, index]
-    return G.PARAMETRIC_GATES[op.name](theta)
+    return G.PARAMETRIC_GATES[op.name](theta, cdtype)
 
 
 def _validate_and_prepare(
-    circuit: Circuit, inputs: np.ndarray | None, weights: np.ndarray
+    circuit: Circuit,
+    inputs: np.ndarray | None,
+    weights: np.ndarray,
+    prec: Precision,
 ):
     """Shared entry checks; returns (inputs, weights, batch, state, embedding).
 
     ``embedding`` is ``(embedded, norms, zero_rows)`` for amplitude-prepared
     circuits and ``(None, None, None)`` otherwise; ``state`` is a fresh array
     the caller may mutate (for amplitude prep it *is* ``embedded``, so cache
-    holders must copy before mutating).
+    holders must copy before mutating).  Inputs and weights are cast to the
+    policy's real dtype, the state to its complex counterpart.
     """
     if circuit.measurement is None:
         raise ValueError("circuit has no measurement; call measure_* first")
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = np.asarray(weights, dtype=prec.real)
     if weights.shape != (circuit.n_weights,):
         raise ValueError(
             f"expected {circuit.n_weights} weights, got shape {weights.shape}"
         )
     if inputs is not None:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=prec.real)
         if inputs.ndim != 2 or inputs.shape[1] < circuit.n_inputs:
             raise ValueError(
                 f"inputs must be (batch, >= {circuit.n_inputs}), got "
@@ -205,11 +227,11 @@ def _validate_and_prepare(
     if circuit.state_prep is not None:
         __, n_features, zero_fallback = circuit.state_prep
         state, norms, zero_rows = _prepare_amplitude(
-            inputs[:, :n_features], circuit.n_wires, zero_fallback
+            inputs[:, :n_features], circuit.n_wires, zero_fallback, prec
         )
         embedding = (state, norms, zero_rows)
     else:
-        state = zero_state(circuit.n_wires, batch)
+        state = zero_state(circuit.n_wires, batch, dtype=prec.complex)
         embedding = (None, None, None)
     return inputs, weights, batch, state, embedding
 
@@ -226,6 +248,7 @@ def execute(
     inputs: np.ndarray | None,
     weights: np.ndarray,
     want_cache: bool = True,
+    dtype=None,
 ) -> tuple[np.ndarray, ExecutionCache | None]:
     """Run the circuit on a batch via its compiled plan.
 
@@ -239,22 +262,28 @@ def execute(
         weight circuit (then batch = 1).
     weights:
         Flat ``(n_weights,)`` trainable angles.
+    dtype:
+        Precision spec (:func:`repro.nn.precision.resolve_precision`):
+        None follows the active policy (float64/complex128 by default);
+        ``"float32"`` runs the whole pass at complex64.
 
     Returns
     -------
     outputs:
-        ``(batch, output_dim)`` real measurement results.
+        ``(batch, output_dim)`` real measurement results in the policy's
+        real dtype.
     cache:
         Pass to :func:`backward`, or None when ``want_cache=False``.
     """
+    prec = resolve_precision(dtype)
     inputs, weights, batch, state, embedding = _validate_and_prepare(
-        circuit, inputs, weights
+        circuit, inputs, weights, prec
     )
     embedded, norms, zero_rows = embedding
     plan = compiled_plan(circuit)
     if want_cache and embedded is not None:
         state = state.copy()  # keep the pristine embedded state for backward
-    bound = plan.bind(inputs, weights, with_grads=want_cache)
+    bound = plan.bind(inputs, weights, with_grads=want_cache, cdtype=prec.complex)
     state = plan.run(state, bound)
     outputs = _measure(circuit, state)
     if not want_cache:
@@ -279,6 +308,7 @@ def execute_stacked(
     inputs: np.ndarray | None,
     weights: np.ndarray,
     want_cache: bool = True,
+    dtype=None,
 ) -> tuple[np.ndarray, StackedExecutionCache | None]:
     """Run ``p`` weight-bindings of one circuit template as a single pass.
 
@@ -299,6 +329,11 @@ def execute_stacked(
     weights:
         ``(p, n_weights)`` per-instance trainable angles; ``p`` is taken
         from this argument.
+    dtype:
+        Precision spec (:func:`repro.nn.precision.resolve_precision`):
+        None follows the active policy; ``"float32"`` runs the stacked
+        pass at complex64 — halving the bytes every kernel moves, which is
+        the lever on this bandwidth-bound path.
 
     Returns
     -------
@@ -307,9 +342,10 @@ def execute_stacked(
     cache:
         Pass to :func:`backward_stacked`, or None when ``want_cache=False``.
     """
+    prec = resolve_precision(dtype)
     if circuit.measurement is None:
         raise ValueError("circuit has no measurement; call measure_* first")
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = np.asarray(weights, dtype=prec.real)
     if weights.ndim != 2 or weights.shape[1] != circuit.n_weights:
         raise ValueError(
             f"stacked weights must be (p, {circuit.n_weights}), "
@@ -320,7 +356,7 @@ def execute_stacked(
         raise ValueError("stacked execution needs at least one instance")
     n_in = circuit.n_inputs
     if inputs is not None:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=prec.real)
         if inputs.ndim != 3 or inputs.shape[0] != p or inputs.shape[2] != n_in:
             raise ValueError(
                 f"stacked inputs must be (p={p}, batch, {n_in}), "
@@ -337,15 +373,17 @@ def execute_stacked(
     if circuit.state_prep is not None:
         __, n_features, zero_fallback = circuit.state_prep
         state, norms, zero_rows = _prepare_amplitude(
-            flat_inputs[:, :n_features], circuit.n_wires, zero_fallback
+            flat_inputs[:, :n_features], circuit.n_wires, zero_fallback, prec
         )
         embedded = state
     else:
-        state = zero_state(circuit.n_wires, p * batch)
+        state = zero_state(circuit.n_wires, p * batch, dtype=prec.complex)
         embedded = norms = zero_rows = None
 
     plan = stacked_plan(circuit)
-    bound = plan.bind(flat_inputs, weights, p, batch, with_grads=want_cache)
+    bound = plan.bind(
+        flat_inputs, weights, p, batch, with_grads=want_cache, cdtype=prec.complex
+    )
     # Stacked applies are pure, so the embedded state survives the run
     # untouched and post-block states can be checkpointed by reference.
     record: list | None = [] if want_cache else None
@@ -401,8 +439,11 @@ def backward_stacked(
     """
     circuit = cache.circuit
     p, batch = cache.n_patches, cache.batch
-    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
+    grad_outputs = np.asarray(grad_outputs)
     lam = _seed_cotangent(cache, grad_outputs.reshape(p * batch, -1))
+    # Gradients accumulate in float64 regardless of execution precision:
+    # the buffers are tiny next to the statevector, and wide accumulation
+    # keeps low-precision runs numerically stable.
     grad_weights = np.zeros((p, circuit.n_weights), dtype=np.float64)
     grad_inputs = (
         np.zeros((p * batch, circuit.n_inputs), dtype=np.float64)
@@ -410,7 +451,12 @@ def backward_stacked(
         else None
     )
     ctx = StackedGradContext(
-        p, batch, grad_weights, grad_inputs, cache.final_state.shape
+        p,
+        batch,
+        grad_weights,
+        grad_inputs,
+        cache.final_state.shape,
+        dtype=cache.final_state.dtype,
     )
     # Only the cotangent walks backward; the ket side is read from the
     # forward checkpoints (pure applies make them safe to hold by reference).
@@ -432,6 +478,7 @@ def naive_execute(
     inputs: np.ndarray | None,
     weights: np.ndarray,
     want_cache: bool = True,
+    dtype=None,
 ) -> tuple[np.ndarray, ExecutionCache | None]:
     """Reference interpreter: apply every op through the generic kernel.
 
@@ -439,13 +486,14 @@ def naive_execute(
     baseline the kernel benchmarks report speedups from.  Same signature and
     semantics as :func:`execute`.
     """
+    prec = resolve_precision(dtype)
     inputs, weights, batch, state, embedding = _validate_and_prepare(
-        circuit, inputs, weights
+        circuit, inputs, weights, prec
     )
     embedded, norms, zero_rows = embedding
     matrices: list[np.ndarray] = []
     for op in circuit.ops:
-        gate = _gate_matrix(op, inputs, weights)
+        gate = _gate_matrix(op, inputs, weights, prec.complex)
         state = apply_gate(state, gate, op.wires)
         if want_cache:
             matrices.append(gate)
@@ -471,10 +519,13 @@ def _seed_cotangent(
 ) -> np.ndarray:
     """The cotangent ``dL/dpsi*`` at the final state."""
     circuit = cache.circuit
-    grad_outputs = np.asarray(grad_outputs, dtype=np.float64)
+    # Seed at the execution's real precision so the cotangent matches the
+    # state dtype (float32 * complex64 stays complex64).
+    real = real_dtype_for(cache.final_state.dtype)
+    grad_outputs = np.asarray(grad_outputs, dtype=real)
     kind, wires = circuit.measurement
     if kind == "expval":
-        signs = z_signs(circuit.n_wires)
+        signs = z_signs(circuit.n_wires, dtype=real)
         v = grad_outputs @ signs[list(wires)]  # (batch, 2**n)
     else:
         v = grad_outputs
@@ -561,9 +612,10 @@ def naive_backward(
     )
 
     psi = cache.final_state
+    cdtype = cache.final_state.dtype
     for op, gate in zip(reversed(circuit.ops), reversed(cache.gate_matrices)):
         if op.source is not None:
-            gen = G.generator(op.name)
+            gen = G.generator(op.name, cdtype)
             gen_psi = apply_gate(psi, gen, op.wires)
             # dL/dtheta = Im(<lambda| G |psi>) per batch element.
             per_sample = np.einsum("bj,bj->b", np.conj(lam), gen_psi).imag

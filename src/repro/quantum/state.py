@@ -4,6 +4,11 @@ States are stored as ``(batch, 2**n)`` complex arrays; every operation is
 vectorized over the batch, which is what makes training the paper's hybrid
 models tractable on a CPU.  Wire 0 is the most significant bit of the
 computational-basis index (PennyLane convention).
+
+The state dtype is policy-parameterized (:mod:`repro.nn.precision`):
+``complex128`` by default, ``complex64`` when the caller opts into single
+precision — measurement helpers derive their real dtype from the state, so
+a ``complex64`` pass yields ``float32`` probabilities and expectations.
 """
 
 from __future__ import annotations
@@ -11,6 +16,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from ..nn.precision import real_dtype_for
 
 __all__ = [
     "zero_state",
@@ -23,18 +30,20 @@ __all__ = [
 ]
 
 
-def zero_state(n_wires: int, batch: int = 1) -> np.ndarray:
+def zero_state(n_wires: int, batch: int = 1, dtype=np.complex128) -> np.ndarray:
     """The |0...0> state replicated over a batch."""
-    state = np.zeros((batch, 2**n_wires), dtype=np.complex128)
+    state = np.zeros((batch, 2**n_wires), dtype=dtype)
     state[:, 0] = 1.0
     return state
 
 
-def basis_state(index: int, n_wires: int, batch: int = 1) -> np.ndarray:
+def basis_state(
+    index: int, n_wires: int, batch: int = 1, dtype=np.complex128
+) -> np.ndarray:
     """A computational basis state |index>."""
     if not 0 <= index < 2**n_wires:
         raise ValueError(f"basis index {index} out of range for {n_wires} wires")
-    state = np.zeros((batch, 2**n_wires), dtype=np.complex128)
+    state = np.zeros((batch, 2**n_wires), dtype=dtype)
     state[:, index] = 1.0
     return state
 
@@ -97,7 +106,7 @@ def expval_z(state: np.ndarray, wires: Sequence[int]) -> np.ndarray:
     This is the measurement the paper uses for encoder outputs (latent
     variables) and for SQ decoder outputs.
     """
-    signs = z_signs(num_wires(state))
+    signs = z_signs(num_wires(state), dtype=real_dtype_for(state.dtype))
     return probabilities(state) @ signs[list(wires)].T
 
 
@@ -127,20 +136,22 @@ def marginal_probabilities(state: np.ndarray, wires: Sequence[int]) -> np.ndarra
     return probs.reshape(batch, 2 ** len(wires))
 
 
-_Z_SIGN_CACHE: dict[int, np.ndarray] = {}
+_Z_SIGN_CACHE: dict[tuple[int, np.dtype], np.ndarray] = {}
 
 
-def z_signs(n_wires: int) -> np.ndarray:
+def z_signs(n_wires: int, dtype=np.float64) -> np.ndarray:
     """Sign pattern of Z on each wire over basis indices: ``(n, 2**n)`` of +-1."""
-    cached = _Z_SIGN_CACHE.get(n_wires)
+    dtype = np.dtype(dtype)
+    key = (n_wires, dtype)
+    cached = _Z_SIGN_CACHE.get(key)
     if cached is not None:
         return cached
     indices = np.arange(2**n_wires)
-    signs = np.empty((n_wires, 2**n_wires), dtype=np.float64)
+    signs = np.empty((n_wires, 2**n_wires), dtype=dtype)
     for w in range(n_wires):
         bit = (indices >> (n_wires - 1 - w)) & 1
         signs[w] = 1.0 - 2.0 * bit
-    _Z_SIGN_CACHE[n_wires] = signs
+    _Z_SIGN_CACHE[key] = signs
     return signs
 
 

@@ -15,6 +15,7 @@ import numpy as np
 from ..data.loader import ArrayDataset, DataLoader
 from ..models.base import Autoencoder
 from ..nn.optim import heterogeneous_adam
+from ..nn.precision import resolve_precision, use_precision
 from ..nn.tensor import Tensor, no_grad
 from .history import EpochRecord, History
 from .losses import autoencoder_loss
@@ -58,6 +59,11 @@ class TrainConfig:
     shuffle: bool = True
     max_grad_norm: float | None = None  # global-norm gradient clipping
     early_stop_patience: int | None = None  # epochs without test improvement
+    # Precision policy for the whole run (None = active policy, float64 by
+    # default).  "float32" casts every batch to single precision and scopes
+    # the policy over the loop, so gradients/optimizer state follow too —
+    # pair with a model built with the same dtype to train fully in float32.
+    precision: str | None = None
 
     @classmethod
     def paper_sq(cls, epochs: int = 20, seed: int = 0) -> "TrainConfig":
@@ -76,6 +82,7 @@ class Trainer:
     def __init__(self, model: Autoencoder, config: TrainConfig):
         self.model = model
         self.config = config
+        self.precision = resolve_precision(config.precision)
         self.optimizer = heterogeneous_adam(
             model, quantum_lr=config.quantum_lr, classical_lr=config.classical_lr
         )
@@ -85,8 +92,22 @@ class Trainer:
         train_data: ArrayDataset,
         test_data: ArrayDataset | None = None,
     ) -> History:
-        """Train for ``config.epochs`` epochs; evaluates test loss per epoch."""
+        """Train for ``config.epochs`` epochs; evaluates test loss per epoch.
+
+        The whole loop runs under the config's precision policy: batches
+        are cast to its real dtype and gradient buffers follow its
+        accumulation rule.
+        """
+        with use_precision(self.precision):
+            return self._fit(train_data, test_data)
+
+    def _fit(
+        self,
+        train_data: ArrayDataset,
+        test_data: ArrayDataset | None = None,
+    ) -> History:
         config = self.config
+        real = self.precision.real
         loader = DataLoader(
             train_data,
             batch_size=config.batch_size,
@@ -102,9 +123,9 @@ class Trainer:
             self.model.train()
             for batch in loader:
                 self.optimizer.zero_grad()
-                output = self.model(Tensor(batch))
+                output = self.model(Tensor(batch, dtype=real))
                 loss, terms = autoencoder_loss(
-                    output, Tensor(batch), beta=config.beta
+                    output, Tensor(batch, dtype=real), beta=config.beta
                 )
                 loss.backward()
                 if config.max_grad_norm is not None:
@@ -140,21 +161,31 @@ class Trainer:
 
     def evaluate(self, data: ArrayDataset) -> float:
         """Mean reconstruction MSE over a dataset (no gradient tracking)."""
-        return evaluate_reconstruction(self.model, data, self.config.batch_size)
+        return evaluate_reconstruction(
+            self.model, data, self.config.batch_size, dtype=self.precision
+        )
 
 
 def evaluate_reconstruction(
-    model: Autoencoder, data: ArrayDataset, batch_size: int = 32
+    model: Autoencoder, data: ArrayDataset, batch_size: int = 32, dtype=None
 ) -> float:
-    """Reconstruction MSE of ``model`` on ``data`` (posterior mean path)."""
+    """Reconstruction MSE of ``model`` on ``data`` (posterior mean path).
+
+    ``dtype`` casts each batch to the policy's real dtype before encoding
+    (None follows the active policy); the squared error itself accumulates
+    in float64 either way.
+    """
+    real = resolve_precision(dtype).real
     model.eval()
     total = 0.0
     count = 0
     with no_grad():
         for start in range(0, len(data), batch_size):
             batch = data.features[start : start + batch_size]
-            recon = model.decode(model.encode(Tensor(batch)))
-            total += float(((recon.data - batch) ** 2).sum())
+            recon = model.decode(model.encode(Tensor(batch, dtype=real)))
+            total += float(
+                ((recon.data.astype(np.float64) - batch) ** 2).sum()
+            )
             count += batch.size
     model.train()
     return total / count

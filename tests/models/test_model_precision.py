@@ -1,0 +1,46 @@
+"""Every model's dtype knob must reach every parameter (no silent float64)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ClassicalAE,
+    ClassicalVAE,
+    FullyQuantumAE,
+    FullyQuantumVAE,
+    HybridQuantumAE,
+    HybridQuantumVAE,
+    ScalableQuantumAE,
+    ScalableQuantumVAE,
+)
+from repro.nn import Tensor
+
+MODELS = [
+    lambda: ClassicalAE(input_dim=16, latent_dim=3, hidden_dims=(8,),
+                        rng=np.random.default_rng(0), dtype="float32"),
+    lambda: ClassicalVAE(input_dim=16, latent_dim=3, hidden_dims=(8,),
+                         rng=np.random.default_rng(0), dtype="float32"),
+    lambda: FullyQuantumAE(input_dim=16, n_layers=1,
+                           rng=np.random.default_rng(0), dtype="float32"),
+    lambda: FullyQuantumVAE(input_dim=16, n_layers=1,
+                            rng=np.random.default_rng(0), dtype="float32"),
+    lambda: HybridQuantumAE(input_dim=16, n_layers=1,
+                            rng=np.random.default_rng(0), dtype="float32"),
+    lambda: HybridQuantumVAE(input_dim=16, n_layers=1,
+                             rng=np.random.default_rng(0), dtype="float32"),
+    lambda: ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                              rng=np.random.default_rng(0), dtype="float32"),
+    lambda: ScalableQuantumVAE(input_dim=16, n_patches=2, n_layers=1,
+                               rng=np.random.default_rng(0), dtype="float32"),
+]
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_float32_knob_reaches_every_parameter(factory):
+    model = factory()
+    for name, param in model.named_parameters():
+        assert param.data.dtype == np.float32, name
+    x = np.abs(np.random.default_rng(1).normal(size=(2, 16))) + 0.05
+    out = model(Tensor(x, dtype=np.float32))
+    assert out.reconstruction.data.dtype == np.float32
+    assert out.latent.data.dtype == np.float32

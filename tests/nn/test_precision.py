@@ -1,0 +1,200 @@
+"""Tests for the precision policy and dtype-parameterized nn substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    FLOAT32,
+    FLOAT64,
+    MIXED32,
+    Adam,
+    Linear,
+    Precision,
+    Tensor,
+    default_precision,
+    resolve_precision,
+    set_default_precision,
+    use_precision,
+    functional as F,
+)
+from repro.nn.init import fresh_rng
+from repro.nn.precision import complex_dtype_for, grad_dtype, real_dtype_for
+
+
+class TestPolicy:
+    def test_default_is_float64(self):
+        prec = default_precision()
+        assert prec is FLOAT64
+        assert prec.real == np.float64
+        assert prec.complex == np.complex128
+
+    def test_resolve_variants(self):
+        assert resolve_precision(None) is default_precision()
+        assert resolve_precision("float32") is FLOAT32
+        assert resolve_precision("mixed32") is MIXED32
+        assert resolve_precision(np.float32) is FLOAT32
+        assert resolve_precision(np.complex64) is FLOAT32
+        assert resolve_precision(np.complex128) is FLOAT64
+        assert resolve_precision(FLOAT32) is FLOAT32
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_precision("float16")
+        with pytest.raises(ValueError):
+            resolve_precision(np.int32)
+
+    def test_context_manager_scopes_and_restores(self):
+        assert default_precision() is FLOAT64
+        with use_precision("float32") as prec:
+            assert prec is FLOAT32
+            assert default_precision() is FLOAT32
+            with use_precision("mixed32"):
+                assert default_precision() is MIXED32
+            assert default_precision() is FLOAT32
+        assert default_precision() is FLOAT64
+
+    def test_set_default_returns_previous(self):
+        previous = set_default_precision("float32")
+        try:
+            assert previous is FLOAT64
+            assert default_precision() is FLOAT32
+        finally:
+            set_default_precision(previous)
+        assert default_precision() is FLOAT64
+
+    def test_paired_dtype_maps(self):
+        assert real_dtype_for(np.complex64) == np.float32
+        assert real_dtype_for(np.float64) == np.float64
+        assert complex_dtype_for(np.float32) == np.complex64
+        assert complex_dtype_for(np.complex128) == np.complex128
+        with pytest.raises(ValueError):
+            real_dtype_for(np.int64)
+
+    def test_precision_is_frozen(self):
+        with pytest.raises(Exception):
+            FLOAT32.real = np.float64  # type: ignore[misc]
+        assert isinstance(FLOAT32, Precision)
+
+
+class TestTensorDtype:
+    def test_arrays_keep_their_dtype(self):
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+
+    def test_non_array_data_follows_policy(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+        with use_precision("float32"):
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+            # Explicit arrays still win over the policy.
+            assert Tensor(np.zeros(2)).dtype == np.float64
+
+    def test_explicit_dtype_casts(self):
+        t = Tensor(np.zeros(3), dtype="float32")
+        assert t.dtype == np.float32
+        with pytest.raises(TypeError):
+            Tensor(np.zeros(3), dtype=np.int32)
+
+    def test_ops_propagate_float32(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        y = ((x * 2.0 + 1.0) / 3.0 - 0.5).tanh().exp()
+        assert y.dtype == np.float32
+        z = (y @ Tensor(np.ones((3, 2), dtype=np.float32))).sum()
+        assert z.dtype == np.float32
+        z.backward()
+        assert x.grad.dtype == np.float64  # default policy widens buffers
+
+    def test_grad_dtype_follows_policy(self):
+        with use_precision("float32"):
+            x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+            (x * x).sum().backward()
+            assert x.grad.dtype == np.float32
+        x64 = Tensor(np.ones(4), requires_grad=True)
+        with use_precision("mixed32"):
+            y = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+            (y * y).sum().backward()
+            assert y.grad.dtype == np.float64  # widened accumulation
+        (x64 * x64).sum().backward()
+        assert x64.grad.dtype == np.float64
+        assert grad_dtype(np.float64) == np.float64
+
+    def test_astype_is_differentiable(self):
+        x = Tensor(np.full(3, 2.0), requires_grad=True)
+        y = x.astype(np.float32)
+        assert y.dtype == np.float32
+        (y * y).sum().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, 4.0, rtol=1e-6)
+        with pytest.raises(TypeError):
+            x.astype(np.int16)
+
+    def test_zeros_ones_follow_policy(self):
+        with use_precision("float32"):
+            assert Tensor.zeros((2,)).dtype == np.float32
+            assert Tensor.ones((2,)).dtype == np.float32
+        assert Tensor.zeros((2,)).dtype == np.float64
+        assert Tensor.zeros((2,), dtype=np.float32).dtype == np.float32
+
+
+class TestLayersAndOptim:
+    def test_linear_dtype_knob(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0), dtype="float32")
+        assert layer.weight.data.dtype == np.float32
+        assert layer.bias.data.dtype == np.float32
+        out = layer(Tensor(np.ones((3, 4), dtype=np.float32)))
+        assert out.dtype == np.float32
+
+    def test_linear_follows_policy_scope(self):
+        with use_precision("float32"):
+            layer = Linear(4, 2, rng=np.random.default_rng(0))
+        assert layer.weight.data.dtype == np.float32
+
+    def test_adam_preserves_param_dtype_under_mixed_grads(self):
+        layer = Linear(4, 4, rng=np.random.default_rng(1), dtype="float32")
+        opt = Adam(list(layer.parameters()), lr=0.01)
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        # Default float64 policy -> float64 grad buffers on float32 params.
+        F.mse_loss(layer(x), Tensor(np.zeros((2, 4)))).backward()
+        assert layer.weight.grad.dtype == np.float64
+        opt.step()
+        assert layer.weight.data.dtype == np.float32
+
+    def test_float32_training_reduces_loss(self):
+        rng = np.random.default_rng(2)
+        with use_precision("float32"):
+            layer = Linear(8, 8, rng=rng)
+            opt = Adam(list(layer.parameters()), lr=0.05)
+            x = Tensor(rng.normal(size=(16, 8)).astype(np.float32))
+            first = last = None
+            for _ in range(30):
+                opt.zero_grad()
+                loss = F.mse_loss(layer(x), x)
+                loss.backward()
+                opt.step()
+                first = loss.item() if first is None else first
+                last = loss.item()
+        assert layer.weight.data.dtype == np.float32
+        assert last < first * 0.5
+
+
+class TestFreshRng:
+    def test_default_layers_get_distinct_streams(self):
+        # Regression: Linear() twice used to draw identical weights from a
+        # shared default_rng(0).
+        a, b = Linear(4, 4), Linear(4, 4)
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_default_quantum_layers_get_distinct_streams(self):
+        from repro.qnn import QuantumLayer, angle_expval_circuit
+
+        a = QuantumLayer(angle_expval_circuit(2, 2, 1))
+        b = QuantumLayer(angle_expval_circuit(2, 2, 1))
+        assert not np.allclose(a.weights.data, b.weights.data)
+
+    def test_explicit_rng_passes_through(self):
+        rng = np.random.default_rng(5)
+        assert fresh_rng(rng) is rng
+
+    def test_explicit_seeding_still_reproducible(self):
+        a = Linear(4, 4, rng=np.random.default_rng(7))
+        b = Linear(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)

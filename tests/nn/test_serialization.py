@@ -75,6 +75,62 @@ class TestSaveLoad:
         np.testing.assert_allclose(a, b)
 
 
+class TestDtypeRoundTrip:
+    def test_float32_checkpoint_rehydrates_as_float32(self, tmp_path):
+        rng = np.random.default_rng(11)
+        source = Sequential(
+            Linear(4, 8, rng=rng, dtype="float32"),
+            ReLU(),
+            Linear(8, 4, rng=rng, dtype="float32"),
+        )
+        path = save_module(source, tmp_path / "f32")
+        target = Sequential(
+            Linear(4, 8, rng=np.random.default_rng(12), dtype="float32"),
+            ReLU(),
+            Linear(8, 4, rng=np.random.default_rng(12), dtype="float32"),
+        )
+        load_module(target, path)
+        for __, param in target.named_parameters():
+            assert param.data.dtype == np.float32
+        assert module_fingerprint(source) == module_fingerprint(target)
+
+    def test_float32_checkpoint_preserved_into_float64_module(self, tmp_path):
+        # The checkpoint's dtype wins: no implicit float64 rehydration.
+        src = Sequential(Linear(3, 3, rng=np.random.default_rng(13),
+                                dtype="float32"))
+        path = save_module(src, tmp_path / "x")
+        dst = Sequential(Linear(3, 3, rng=np.random.default_rng(14)))
+        assert dst.layers[0].weight.data.dtype == np.float64
+        load_module(dst, path)
+        assert dst.layers[0].weight.data.dtype == np.float32
+
+    def test_float64_checkpoint_unchanged(self, tmp_path):
+        src = model(seed=15)
+        path = save_module(src, tmp_path / "y")
+        dst = model(seed=16)
+        load_module(dst, path)
+        for __, param in dst.named_parameters():
+            assert param.data.dtype == np.float64
+
+    def test_quantum_float32_model_roundtrip(self, tmp_path):
+        from repro.models import ScalableQuantumAE
+
+        source = ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                                   rng=np.random.default_rng(17),
+                                   dtype="float32")
+        path = save_module(source, tmp_path / "sq32")
+        target = ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                                   rng=np.random.default_rng(18),
+                                   dtype="float32")
+        load_module(target, path)
+        assert module_fingerprint(source) == module_fingerprint(target)
+        x = np.abs(np.random.default_rng(0).normal(size=(2, 16))) + 0.1
+        np.testing.assert_allclose(
+            source.reconstruct(x), target.reconstruct(x)
+        )
+        assert source.reconstruct(x).dtype == np.float32
+
+
 class TestFingerprint:
     def test_identical_models_match(self):
         assert module_fingerprint(model(seed=2)) == module_fingerprint(

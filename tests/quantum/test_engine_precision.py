@@ -1,0 +1,226 @@
+"""Property tests for float32/complex64 execution against float64.
+
+The precision policy threads a paired real/complex dtype through the
+compiled, naive, and stacked engine paths.  Single-precision execution is a
+*numerical* approximation of the float64 reference — same circuits, same
+kernels, half the mantissa — so forward outputs and adjoint gradients must
+agree across precisions within calibrated float32 tolerances, and the
+float64 default must remain bit-identical to the pre-policy behavior.
+
+Tolerance calibration: outputs are bounded ([-1, 1] expectations or
+probabilities) and a 5-layer SEL circuit applies a few hundred complex64
+operations, so forward error sits near 1e-6 and accumulated gradient error
+near 1e-4 — the asserted bounds leave an order of magnitude of headroom.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.precision import FLOAT32, FLOAT64
+from repro.quantum import (
+    Circuit,
+    backward,
+    backward_stacked,
+    execute,
+    execute_stacked,
+    naive_backward,
+    naive_execute,
+    parameter_shift_gradients,
+)
+
+# Calibrated cross-precision tolerances (see module docstring).
+FWD_ATOL = 1e-5
+GRAD_ATOL = 1e-3
+
+
+def _sel_circuit(n_wires=4, layers=2, embedding="amplitude"):
+    circuit = Circuit(n_wires)
+    if embedding == "amplitude":
+        circuit.amplitude_embedding(2**n_wires)
+    else:
+        circuit.angle_embedding(n_wires)
+    return circuit.strongly_entangling_layers(layers).measure_expval()
+
+
+def _case(seed, n_wires=4, layers=2, batch=6, embedding="amplitude"):
+    rng = np.random.default_rng(seed)
+    circuit = _sel_circuit(n_wires, layers, embedding)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    if embedding == "amplitude":
+        inputs = np.abs(rng.normal(size=(batch, 2**n_wires))) + 0.05
+    else:
+        inputs = rng.uniform(-np.pi, np.pi, (batch, n_wires))
+    return circuit, inputs, weights, rng
+
+
+class TestDtypePlumbing:
+    def test_float32_execution_dtypes(self):
+        circuit, inputs, weights, __ = _case(0)
+        out, cache = execute(circuit, inputs, weights, dtype="float32")
+        assert out.dtype == np.float32
+        assert cache.final_state.dtype == np.complex64
+        assert cache.weights.dtype == np.float32
+        grad_in, grad_w = backward(cache, np.ones_like(out))
+        assert grad_w.shape == (circuit.n_weights,)
+
+    def test_float64_default_unchanged(self):
+        # No dtype and explicit float64 must be bit-identical.
+        circuit, inputs, weights, rng = _case(1)
+        out_default, cache_d = execute(circuit, inputs, weights)
+        out_f64, cache_e = execute(circuit, inputs, weights, dtype=FLOAT64)
+        np.testing.assert_array_equal(out_default, out_f64)
+        assert cache_d.final_state.dtype == np.complex128
+        grad_out = rng.normal(size=out_default.shape)
+        gi_d, gw_d = backward(cache_d, grad_out)
+        gi_e, gw_e = backward(cache_e, grad_out)
+        np.testing.assert_array_equal(gw_d, gw_e)
+        np.testing.assert_array_equal(gi_d, gi_e)
+
+    def test_probs_measurement_float32(self):
+        circuit = (
+            Circuit(3).angle_embedding(3).strongly_entangling_layers(1)
+            .measure_probs()
+        )
+        rng = np.random.default_rng(2)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(-np.pi, np.pi, (4, 3))
+        out, __ = execute(circuit, inputs, weights, dtype="float32",
+                          want_cache=False)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        embedding=st.sampled_from(["amplitude", "angle"]),
+    )
+    def test_forward_and_adjoint_match_across_precisions(self, seed, embedding):
+        circuit, inputs, weights, rng = _case(seed, embedding=embedding)
+        out64, cache64 = execute(circuit, inputs, weights)
+        out32, cache32 = execute(circuit, inputs, weights, dtype="float32")
+        np.testing.assert_allclose(out32, out64, atol=FWD_ATOL)
+        grad_out = rng.normal(size=out64.shape)
+        gi64, gw64 = backward(cache64, grad_out)
+        gi32, gw32 = backward(cache32, grad_out)
+        np.testing.assert_allclose(gw32, gw64, atol=GRAD_ATOL)
+        np.testing.assert_allclose(gi32, gi64, atol=GRAD_ATOL)
+
+    def test_naive_interpreter_matches_compiled_at_float32(self):
+        circuit, inputs, weights, rng = _case(3)
+        out_c, cache_c = execute(circuit, inputs, weights, dtype="float32")
+        out_n, cache_n = naive_execute(circuit, inputs, weights, dtype="float32")
+        assert out_n.dtype == np.float32
+        np.testing.assert_allclose(out_n, out_c, atol=FWD_ATOL)
+        grad_out = rng.normal(size=out_c.shape)
+        __, gw_c = backward(cache_c, grad_out)
+        __, gw_n = naive_backward(cache_n, grad_out)
+        np.testing.assert_allclose(gw_n, gw_c, atol=GRAD_ATOL)
+
+    def test_deep_circuit_forward_error_stays_small(self):
+        # The paper-scale encoder patch: 8 qubits, 5 SEL layers.
+        circuit, inputs, weights, __ = _case(4, n_wires=8, layers=5, batch=8)
+        out64, __ = execute(circuit, inputs, weights, want_cache=False)
+        out32, __ = execute(circuit, inputs, weights, want_cache=False,
+                            dtype="float32")
+        np.testing.assert_allclose(out32, out64, atol=FWD_ATOL)
+
+
+class TestStackedEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        p=st.sampled_from([2, 3]),
+    )
+    def test_stacked_matches_float64_stacked(self, seed, p):
+        circuit, inputs, weights, rng = _case(seed)
+        inputs = np.stack([inputs + 0.01 * k for k in range(p)])
+        weights = np.stack(
+            [rng.uniform(-np.pi, np.pi, circuit.n_weights) for _ in range(p)]
+        )
+        out64, cache64 = execute_stacked(circuit, inputs, weights)
+        out32, cache32 = execute_stacked(circuit, inputs, weights,
+                                         dtype="float32")
+        assert cache32.final_state.dtype == np.complex64
+        np.testing.assert_allclose(out32, out64, atol=FWD_ATOL)
+        grad_out = rng.normal(size=out64.shape)
+        gi64, gw64 = backward_stacked(cache64, grad_out)
+        gi32, gw32 = backward_stacked(cache32, grad_out)
+        np.testing.assert_allclose(gw32, gw64, atol=GRAD_ATOL)
+        np.testing.assert_allclose(gi32, gi64, atol=GRAD_ATOL)
+
+    def test_stacked_float32_matches_per_instance_float32(self):
+        # The stacked fast path and the per-instance compiled path must
+        # agree *within* float32 as tightly as they do within float64.
+        circuit, base_inputs, __, rng = _case(5)
+        p = 3
+        inputs = np.stack([base_inputs * (1.0 + 0.1 * k) for k in range(p)])
+        weights = np.stack(
+            [rng.uniform(-np.pi, np.pi, circuit.n_weights) for _ in range(p)]
+        )
+        out_s, cache_s = execute_stacked(circuit, inputs, weights,
+                                         dtype="float32")
+        grad_out = rng.normal(size=out_s.shape)
+        gi_s, gw_s = backward_stacked(cache_s, grad_out)
+        for k in range(p):
+            out_k, cache_k = execute(circuit, inputs[k], weights[k],
+                                     dtype="float32")
+            np.testing.assert_allclose(out_s[k], out_k, atol=1e-6)
+            gi_k, gw_k = backward(cache_k, grad_out[k])
+            np.testing.assert_allclose(gw_s[k], gw_k, atol=1e-4)
+            np.testing.assert_allclose(gi_s[k], gi_k, atol=1e-4)
+
+
+class TestParameterShiftCrossCheck:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_adjoint_matches_parameter_shift_at_float32(self, seed):
+        # The shift rule stays exact under fusion at any precision; at
+        # float32 both sides carry ~1e-6 noise, so the agreement tolerance
+        # relaxes from machine-epsilon to GRAD_ATOL.
+        circuit, inputs, weights, rng = _case(seed, n_wires=3, layers=1,
+                                              batch=4)
+        out, cache = execute(circuit, inputs, weights, dtype="float32")
+        grad_out = rng.normal(size=out.shape)
+        __, adjoint = backward(cache, grad_out)
+        shift = parameter_shift_gradients(circuit, inputs, weights, grad_out,
+                                          dtype="float32")
+        np.testing.assert_allclose(adjoint, shift, atol=GRAD_ATOL)
+
+    def test_float64_cross_check_still_machine_precision(self):
+        circuit, inputs, weights, rng = _case(6, n_wires=3, layers=1, batch=4)
+        out, cache = execute(circuit, inputs, weights)
+        grad_out = rng.normal(size=out.shape)
+        __, adjoint = backward(cache, grad_out)
+        shift = parameter_shift_gradients(circuit, inputs, weights, grad_out)
+        np.testing.assert_allclose(adjoint, shift, atol=1e-10)
+
+
+class TestAmplitudeEmbeddingPrecision:
+    def test_float32_norm_guard_uses_float32_cutoff(self):
+        # Norms that underflow float32 (but not float64) must hit the
+        # fallback/raise path when embedding at single precision.
+        features = np.full((1, 4), 1e-25)
+        out64, __ = execute(_sel_circuit(2, 1), features,
+                            np.zeros(_sel_circuit(2, 1).n_weights),
+                            want_cache=False)  # fine at float64
+        circuit = _sel_circuit(2, 1)
+        with pytest.raises(ValueError, match="zero_fallback"):
+            execute(circuit, features, np.zeros(circuit.n_weights),
+                    dtype="float32", want_cache=False)
+
+    def test_float32_zero_fallback_embeds_basis_state(self):
+        circuit = (
+            Circuit(2).amplitude_embedding(4, zero_fallback=True)
+            .strongly_entangling_layers(1).measure_expval()
+        )
+        weights = np.zeros(circuit.n_weights)
+        features = np.zeros((2, 4))
+        features[1] = 0.5
+        out, cache = execute(circuit, features, weights, dtype="float32")
+        assert cache.embedded.dtype == np.complex64
+        # Row 0 fell back to |00>: with zero weights the SEL layer is a
+        # CNOT ring on |00>, so all expectations stay +1.
+        np.testing.assert_allclose(out[0], 1.0, atol=1e-6)
