@@ -128,6 +128,40 @@ def bench_adjoint_backward_8q_5layers_c64(benchmark):
     assert grad_w.shape == (circuit.n_weights,)
 
 
+def bench_compiled_adjoint_unified(benchmark):
+    """Unified adjoint of a single circuit at n=8, 3 SEL layers (Rot+ring).
+
+    The per-instance backward now runs on the stacked block substrate as a
+    degenerate p=1 stack: checkpointed cotangent-only walk, adjacent-wire
+    4x4 kron pair blocks, and one transition-matrix contraction per fused
+    block instead of one generator insertion per parameter.  Its speedup
+    over the per-parameter generator baseline below is gated by
+    ``run_kernels.py --check``.
+    """
+    circuit = _sel_circuit(8, 3)
+    rng = np.random.default_rng(6)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    outputs, cache = execute(circuit, inputs, weights)
+    grad_out = rng.normal(size=outputs.shape)
+    grad_in, grad_w = benchmark(lambda: backward(cache, grad_out))
+    assert grad_w.shape == (circuit.n_weights,)
+
+
+def bench_compiled_adjoint_unified_naive(benchmark):
+    """The same adjoint on the per-parameter generator-insertion reference
+    (``naive_backward``): one full-state generator apply + inner product
+    per parameter, the pre-unification gradient strategy."""
+    circuit = _sel_circuit(8, 3)
+    rng = np.random.default_rng(6)
+    weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+    inputs = np.abs(rng.normal(size=(32, 256))) + 0.01
+    outputs, cache = naive_execute(circuit, inputs, weights)
+    grad_out = rng.normal(size=outputs.shape)
+    grad_in, grad_w = benchmark(lambda: naive_backward(cache, grad_out))
+    assert grad_w.shape == (circuit.n_weights,)
+
+
 def bench_compile_plan_8q_5layers(benchmark):
     """Cold-compile cost of the SQ encoder patch plan (paid once per shape)."""
     circuit = _sel_circuit()

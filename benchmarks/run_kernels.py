@@ -45,9 +45,20 @@ _C64_SUFFIX = "_c64"
 SPEEDUP_FLOORS = {
     "bench_circuit_forward_8q_5layers": 3.0,
     "bench_adjoint_backward_8q_5layers": 1.5,
+    # The unified per-instance adjoint (transition-matrix backward on the
+    # stacked substrate at p=1) vs the per-parameter generator reference,
+    # at the issue's gate geometry: n=8, 3-layer Rot+ring.
+    "bench_compiled_adjoint_unified": 1.5,
+    # Stacked-vs-sequential floors: the sequential per-patch baseline now
+    # runs the same unified transition-matrix backward per patch, so the
+    # stacked win is amortized invocation overhead (~2.3x measured at
+    # p16/p8_b8) rather than the pre-unification ~3.7-5.9x over the old
+    # generator-insertion loop.  The regression these floors catch — the
+    # layer silently falling back to the sequential loop — shows up as
+    # ~1.0x, far below them.
     "bench_patched_fwd_bwd_p8": 1.2,
-    "bench_patched_fwd_bwd_p8_b8": 2.5,
-    "bench_patched_fwd_bwd_p16": 2.5,
+    "bench_patched_fwd_bwd_p8_b8": 1.8,
+    "bench_patched_fwd_bwd_p16": 1.8,
 }
 
 # Floors for the float32/complex64 precision mode: each ``<name>_c64``
@@ -55,14 +66,19 @@ SPEEDUP_FLOORS = {
 # headline gate is the bandwidth-bound large-batch stacked pass
 # (p=8/batch=32), where halving the bytes per kernel must stay worth at
 # least 1.3x fwd+bwd.  The secondary floors sit at 1.05 — locally they
-# measure 1.2-1.6x, but shared CI runners and differing BLAS builds add
+# measure 1.2-1.4x, but shared CI runners and differing BLAS builds add
 # noise, and the regression these catch (a path silently widening back to
 # complex128) shows up as a ratio of ~1.0.
+#
+# The compiled-adjoint c64 ratio is recorded but deliberately NOT floored:
+# after the adjoint unification the per-instance backward does a fraction
+# of the former dense work, its c64 win shrank to ~1.13x, and a 1.05 floor
+# could no longer separate a real widening (~1.0) from runner noise.  The
+# forward and stacked c64 floors remain the widening tripwires.
 C64_SPEEDUP_FLOORS = {
     "bench_patched_fwd_bwd_p8_c64": 1.3,
     "bench_patched_fwd_bwd_p16_c64": 1.05,
     "bench_circuit_forward_8q_5layers_c64": 1.05,
-    "bench_adjoint_backward_8q_5layers_c64": 1.05,
 }
 
 

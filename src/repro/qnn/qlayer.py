@@ -3,7 +3,12 @@
 :class:`QuantumLayer` owns the circuit's trainable rotation angles as a
 ``Parameter`` tagged ``group='quantum'`` (so the optimizer can apply the
 paper's heterogeneous learning rates) and splices the simulator's exact
-vector-Jacobian product into the autodiff tape.
+vector-Jacobian product into the autodiff tape.  Since the adjoint
+unification, that VJP runs on the same block/kernel substrate as the
+stacked patched path (:mod:`repro.quantum.engine`): a degenerate ``p = 1``
+stack with the checkpointed transition-matrix backward, so single-circuit
+layers — the MolQAE-style non-patched autoencoders — train on the same hot
+path as the patched ones.
 """
 
 from __future__ import annotations

@@ -14,12 +14,16 @@ and costs O(#gates) state applications — the same trick PennyLane's
 parameter-shift rule in :mod:`repro.quantum.shift`.
 
 Both :func:`execute` and :func:`backward` run on the circuit's compiled plan
-(:mod:`repro.quantum.engine`): single-qubit runs are fused, diagonal and
-permutation gates dispatch to specialized kernels, and the lowered program is
-cached on the circuit.  The original op-by-op interpreter is kept as
-:func:`naive_execute` / :func:`naive_backward` — it is the reference the
-compiled engine is property-tested against, and the baseline the kernel
-benchmarks measure speedups from.
+(:mod:`repro.quantum.engine`) — the degenerate ``p = 1`` view of the same
+block/kernel substrate the stacked engine uses.  The forward pass records
+post-block checkpoints (instructions are pure), and the backward walks only
+the cotangent: per fused block, one transition-matrix contraction serves
+every member parameter instead of one generator insertion per parameter.
+:func:`execute_stacked` / :func:`backward_stacked` drive the same substrate
+for ``p`` weight-bindings at once.  The original op-by-op interpreter is
+kept as :func:`naive_execute` / :func:`naive_backward` — it is the
+reference the compiled engine is property-tested against, and the baseline
+the kernel benchmarks measure speedups from.
 
 Both measurement types the paper uses are diagonal in the computational
 basis (Pauli-Z expectations and basis probabilities), so the cotangent seed
@@ -68,9 +72,11 @@ __all__ = [
 class ExecutionCache:
     """Everything the backward pass needs from a forward execution.
 
-    ``plan``/``bound`` are set by the compiled engine; ``gate_matrices`` by
-    the naive interpreter (exactly one of the two walks is replayed in
-    reverse by :func:`backward`).  ``embedded``/``norms``/``zero_rows`` carry
+    ``plan``/``bound``/``checkpoints`` are set by the compiled engine;
+    ``gate_matrices`` by the naive interpreter (exactly one of the two walks
+    is replayed in reverse by :func:`backward`).  ``checkpoints`` holds the
+    per-instruction post-states the plan recorded by reference — the ket
+    side of the adjoint walk.  ``embedded``/``norms``/``zero_rows`` carry
     the amplitude-embedded initial state so the backward pass never
     recomputes the embedding.
     """
@@ -82,6 +88,7 @@ class ExecutionCache:
     batch: int
     plan: CompiledPlan | None = None
     bound: list | None = None
+    checkpoints: list | None = None  # per-instruction post-states (or None)
     gate_matrices: list[np.ndarray] | None = None  # naive path only
     embedded: np.ndarray | None = None  # (batch, 2**n) amplitude-embedded state
     norms: np.ndarray | None = None  # (batch,) embedding norms
@@ -281,10 +288,11 @@ def execute(
     )
     embedded, norms, zero_rows = embedding
     plan = compiled_plan(circuit)
-    if want_cache and embedded is not None:
-        state = state.copy()  # keep the pristine embedded state for backward
     bound = plan.bind(inputs, weights, with_grads=want_cache, cdtype=prec.complex)
-    state = plan.run(state, bound)
+    # Plan instructions are pure, so the embedded state survives the run
+    # untouched and post-block states can be checkpointed by reference.
+    record: list | None = [] if want_cache else None
+    state = plan.run(state, bound, record=record)
     outputs = _measure(circuit, state)
     if not want_cache:
         return outputs, None
@@ -296,6 +304,7 @@ def execute(
         batch,
         plan=plan,
         bound=bound,
+        checkpoints=record,
         embedded=embedded,
         norms=norms,
         zero_rows=zero_rows,
@@ -439,7 +448,9 @@ def backward_stacked(
     """
     circuit = cache.circuit
     p, batch = cache.n_patches, cache.batch
-    grad_outputs = np.asarray(grad_outputs)
+    grad_outputs = _check_cotangent(
+        grad_outputs, (p, batch, circuit.output_dim), cache.final_state.dtype
+    )
     lam = _seed_cotangent(cache, grad_outputs.reshape(p * batch, -1))
     # Gradients accumulate in float64 regardless of execution precision:
     # the buffers are tiny next to the statevector, and wide accumulation
@@ -458,14 +469,7 @@ def backward_stacked(
         cache.final_state.shape,
         dtype=cache.final_state.dtype,
     )
-    # Only the cotangent walks backward; the ket side is read from the
-    # forward checkpoints (pure applies make them safe to hold by reference).
-    for instr, data, checkpoint in zip(
-        reversed(cache.plan.instructions),
-        reversed(cache.bound),
-        reversed(cache.checkpoints),
-    ):
-        lam = instr.backward_step(lam, data, checkpoint, ctx)
+    lam = _adjoint_walk(cache.plan, cache.bound, cache.checkpoints, lam, ctx)
     if want_inputs:
         _amplitude_input_grads(cache, lam, grad_inputs)
     if grad_inputs is None or not want_inputs:
@@ -514,6 +518,46 @@ def naive_execute(
     return outputs, cache
 
 
+def _check_cotangent(
+    grad_outputs, expected_shape: tuple, state_dtype
+) -> np.ndarray:
+    """Validate an upstream gradient before it enters an adjoint walk.
+
+    A malformed cotangent used to surface as an opaque broadcast error deep
+    inside a kernel (or, worse, silently broadcast); every backward entry
+    point routes through this guard instead, naming the offending shape or
+    dtype against what the cached execution expects.
+    """
+    grad_outputs = np.asarray(grad_outputs)
+    if np.iscomplexobj(grad_outputs):
+        raise ValueError(
+            "grad_outputs must be real (the cotangent of a real "
+            f"measurement), got complex dtype {grad_outputs.dtype} for a "
+            f"plan bound at {np.dtype(state_dtype)}"
+        )
+    if grad_outputs.shape != expected_shape:
+        raise ValueError(
+            f"grad_outputs shape {grad_outputs.shape} does not match the "
+            f"cached execution's output shape {expected_shape}"
+        )
+    return grad_outputs
+
+
+def _adjoint_walk(plan, bound, checkpoints, lam, ctx) -> np.ndarray:
+    """Walk a bound plan in reverse: one ``backward_step`` per instruction.
+
+    Only the cotangent moves; the ket side is read from the forward
+    checkpoints (pure applies make them safe to hold by reference).
+    Gradients accumulate into ``ctx``; the returned array is the cotangent
+    at the initial state.
+    """
+    for instr, data, checkpoint in zip(
+        reversed(plan.instructions), reversed(bound), reversed(checkpoints)
+    ):
+        lam = instr.backward_step(lam, data, checkpoint, ctx)
+    return lam
+
+
 def _seed_cotangent(
     cache: ExecutionCache, grad_outputs: np.ndarray
 ) -> np.ndarray:
@@ -555,9 +599,12 @@ def backward(
 ) -> tuple[np.ndarray | None, np.ndarray]:
     """Vector-Jacobian product of a cached execution.
 
-    Dispatches on how the cache was produced: compiled caches replay the
-    fused plan in reverse with daggered kernels; naive caches replay the op
-    list.  Both give exact gradients.
+    Dispatches on how the cache was produced: compiled caches walk the
+    unified block substrate in reverse as a degenerate ``p = 1`` stack —
+    cotangent-only, ket side from the forward checkpoints, one
+    transition-matrix contraction per fused block; naive caches replay the
+    op list with per-parameter generator insertions.  Both give exact
+    gradients.
 
     Parameters
     ----------
@@ -576,22 +623,27 @@ def backward(
     if cache.plan is None:
         return naive_backward(cache, grad_outputs)
     circuit = cache.circuit
+    grad_outputs = _check_cotangent(
+        grad_outputs, (cache.batch, circuit.output_dim), cache.final_state.dtype
+    )
     lam = _seed_cotangent(cache, grad_outputs)
-    psi = cache.final_state.copy()
-    grad_weights = np.zeros(circuit.n_weights, dtype=np.float64)
+    grad_weights = np.zeros((1, circuit.n_weights), dtype=np.float64)
     grad_inputs = (
         np.zeros((cache.batch, circuit.n_inputs), dtype=np.float64)
         if circuit.n_inputs
         else None
     )
-    for instr, data in zip(
-        reversed(cache.plan.instructions), reversed(cache.bound)
-    ):
-        psi, lam = instr.grad_and_unapply(
-            psi, lam, data, grad_weights, grad_inputs
-        )
+    ctx = StackedGradContext(
+        1,
+        cache.batch,
+        grad_weights,
+        grad_inputs,
+        cache.final_state.shape,
+        dtype=cache.final_state.dtype,
+    )
+    lam = _adjoint_walk(cache.plan, cache.bound, cache.checkpoints, lam, ctx)
     _amplitude_input_grads(cache, lam, grad_inputs)
-    return grad_inputs, grad_weights
+    return grad_inputs, grad_weights[0]
 
 
 def naive_backward(
@@ -601,6 +653,9 @@ def naive_backward(
     if cache.gate_matrices is None:
         raise ValueError("cache was not produced by naive_execute")
     circuit = cache.circuit
+    grad_outputs = _check_cotangent(
+        grad_outputs, (cache.batch, circuit.output_dim), cache.final_state.dtype
+    )
     lam = _seed_cotangent(cache, grad_outputs)
     n = num_wires(cache.final_state)
 

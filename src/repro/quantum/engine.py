@@ -1,64 +1,54 @@
-"""Compiled circuit execution engine: fused gates, specialized kernels, plans.
+"""Compiled circuit execution engine: one block/kernel substrate, two views.
 
 The generic interpreter in :mod:`repro.quantum.autodiff` applies every gate
 through :func:`repro.quantum.state.apply_gate` — a reshape/moveaxis/einsum
 round-trip that treats a CNOT the same as an arbitrary dense two-qubit
 matrix.  This module lowers a :class:`~repro.quantum.circuit.Circuit` into a
-:class:`CompiledPlan` once, then executes the plan many times:
+reusable plan once, then executes the plan many times.
 
-* **Fusion.**  Runs of single-qubit gates on the same wire — adjacent modulo
-  gates on disjoint wires, which commute — collapse into one 2x2 matrix.
-  The ``Rot = RZ.RY.RZ`` triple that ``strongly_entangling_layers`` emits on
-  every qubit becomes a single fused instruction, cutting the SEL op count
-  roughly 3x.  Fused matrices are rebuilt from the current weights at *bind*
-  time; the plan itself never changes.
+**Adjoint architecture.**  There is exactly one lowered representation — a
+scheduled list of *stacked* instructions — and two plan classes that view it:
+
+* :class:`StackedPlan` runs ``p`` structurally identical weight-bindings of
+  the circuit as a single ``(p * batch, 2**n)`` statevector pass (the
+  patched layers' fast path).
+* :class:`CompiledPlan` is the per-instance view: the degenerate ``p = 1``
+  stack.  Same instructions, same kernels, same backward — only the
+  entry-point shapes differ (flat weights, plain ``(batch, 2**n)`` state).
+  :func:`compiled_plan` and :func:`stacked_plan` share the lowered program,
+  so a circuit used both ways is lowered exactly once.
+
+The substrate gives both views the same machinery:
+
+* **Fusion + scheduling.**  Runs of single-qubit gates on one wire collapse
+  into a 2x2 matrix (the SEL ``Rot = RZ.RY.RZ`` triple becomes one
+  instruction); a commutation-aware peephole pass merges dense runs on
+  adjacent wires into 4x4 kron blocks and composes each CNOT ring into a
+  single index gather.
 * **Specialized kernels.**  Diagonal gates (RZ, CZ, CRZ, Z) multiply
-  precomputed basis-index masks by phases — no matmul.  Permutation gates
-  (CNOT, X, SWAP) are precomputed index gathers.  Dense single-qubit gates
-  use a fixed ``(batch, left, 2, right)`` reshape with explicit 2x2 row
-  arithmetic instead of per-call ``moveaxis`` bookkeeping.
-* **Caching.**  :func:`compiled_plan` memoizes the plan on the circuit
-  instance keyed by a structural signature, so ``QuantumLayer`` and
-  ``PatchedQuantumLayer`` pay compilation once, not per batch.
-
-The adjoint backward pass walks the same fused program in reverse with
-daggered kernels.  Gradients of parameters inside a fused block use the
-*effective generator* ``G_eff = S G S^dagger``, where ``S`` is the product of
-the block's gates applied after the parameterized one: from
-``dU/dtheta = S (-i/2 G) P = -i/2 (S G S^dagger) U`` the usual adjoint
-identity ``dL/dtheta = Im(<lambda| G_eff |psi>)`` holds at the post-block
-state, so fusion preserves exact gradients.  Effective generators for
-weight-only ("static") runs are built by one batched matmul sweep over all
-runs sharing a gate signature.
-
-**Stacked (multi-bind) execution.**  The patched layers run ``p``
-structurally identical circuit instances that differ only in their weight
-vectors (and input slices).  :func:`stacked_plan` lowers the shared template
-into a :class:`StackedPlan` that executes all ``p`` instances as one
-``(p * batch, 2**n)`` statevector pass — one engine invocation instead of
-``p`` — and exploits the stacked layout in ways the per-instance plan
-cannot:
-
-* weight-sourced gates bind *per patch* — ``(p, 2, 2)`` matrices broadcast
-  along the outermost axis of the ``(p, batch, ...)`` state view, instead of
-  scalar matrices bound ``p`` separate times;
-* a commutation-aware scheduling pass merges dense runs on adjacent wires
-  into 4x4 kron blocks and composes each SEL CNOT ring into a single index
-  gather, roughly halving the instruction count per entangling layer;
-* stacked instructions are *pure* (never mutate their input state), so the
-  forward pass checkpoints every post-block state by reference; the adjoint
-  backward then only walks the cotangent — the ket side is read from the
-  checkpoints instead of being un-applied;
-* per block the backward computes one *transition matrix*
+  precomputed basis-index masks by phases; permutation gates (CNOT, X,
+  SWAP) are index gathers; dense blocks dispatch by wire geometry to
+  batched GEMMs, with short strides (``right`` in {2, 4, 8}) lowered onto
+  ``kron(mat, I_right)`` GEMMs over the flattened tail.
+* **Checkpointed, transition-matrix backward.**  Instructions are *pure*
+  (never mutate their input state), so the forward pass records every
+  post-block state by reference; the adjoint backward walks only the
+  cotangent and reads the ket side from the checkpoints.  Per dense block
+  the backward computes one *transition matrix*
   ``M[a, c] = sum conj(lambda)_a psi_c`` and contracts every member's
-  effective generator against it (weight gradients only need per-patch
-  sums), replacing the per-parameter generator insertion + full-state inner
-  product of the per-instance plan.
+  effective generator ``G_eff = S G S^dagger`` against it — one contraction
+  per fused block instead of one generator insertion per parameter.  From
+  ``dU/dtheta = S (-i/2 G) P = -i/2 (S G S^dagger) U`` the adjoint identity
+  ``dL/dtheta = Im(<lambda| G_eff |psi>)`` holds at the post-block state,
+  so fusion preserves exact gradients.
+* **Bulk binding.**  Weight-only fused runs sharing a gate signature bind
+  through one vectorized gate construction and one batched-matmul sweep
+  per signature (:class:`_SStaticGroup`).
 
-:func:`repro.quantum.autodiff.execute_stacked` /
-:func:`~repro.quantum.autodiff.backward_stacked` drive this plan; stacked
-plans land in a structural cache, so ``p`` patch circuits share one lowered
-program.
+:func:`repro.quantum.autodiff.execute` / ``backward`` drive the ``p = 1``
+view; ``execute_stacked`` / ``backward_stacked`` drive the multi-bind view.
+The op-by-op interpreter (``naive_execute`` / ``naive_backward``) remains
+the reference both are property-tested against.
 """
 
 from __future__ import annotations
@@ -85,337 +75,6 @@ def _dagger(mat: np.ndarray) -> np.ndarray:
     return np.conj(np.swapaxes(mat, -1, -2))
 
 
-# ---------------------------------------------------------------------------
-# Single-qubit dense kernel: state viewed as (batch, left, 2, right)
-# ---------------------------------------------------------------------------
-
-def _mat_entries(mat: np.ndarray):
-    """The four entries of a 2x2 (or batched (b, 2, 2)) matrix, broadcastable
-    against a ``(batch, left, right)`` slice of the state."""
-    if mat.ndim == 2:
-        return mat[0, 0], mat[0, 1], mat[1, 0], mat[1, 1]
-    return (
-        mat[:, 0, 0, None, None],
-        mat[:, 0, 1, None, None],
-        mat[:, 1, 0, None, None],
-        mat[:, 1, 1, None, None],
-    )
-
-
-def _apply_1q_inplace(state: np.ndarray, mat: np.ndarray, left: int, right: int):
-    """Apply a single-qubit matrix in place on a C-contiguous state."""
-    psi = state.reshape(state.shape[0], left, 2, right)
-    m00, m01, m10, m11 = _mat_entries(mat)
-    a = psi[:, :, 0, :]
-    b = psi[:, :, 1, :]
-    new0 = m00 * a + m01 * b
-    psi[:, :, 1, :] = m10 * a + m11 * b
-    psi[:, :, 0, :] = new0
-    return state
-
-
-def _apply_1q_copy(state: np.ndarray, mat: np.ndarray, left: int, right: int):
-    """Out-of-place single-qubit apply (used for generator insertions)."""
-    psi = state.reshape(state.shape[0], left, 2, right)
-    m00, m01, m10, m11 = _mat_entries(mat)
-    out = np.empty_like(psi)
-    a = psi[:, :, 0, :]
-    b = psi[:, :, 1, :]
-    out[:, :, 0, :] = m00 * a + m01 * b
-    out[:, :, 1, :] = m10 * a + m11 * b
-    return out.reshape(state.shape)
-
-
-def _accumulate(source, per_sample, grad_weights, grad_inputs) -> None:
-    kind, index = source
-    if kind == "weight":
-        grad_weights[index] += per_sample.sum()
-    else:
-        grad_inputs[:, index] += per_sample
-
-
-# ---------------------------------------------------------------------------
-# Instructions
-# ---------------------------------------------------------------------------
-
-class _Fused1Q:
-    """A fused run of dense single-qubit gates on one wire.
-
-    Static runs (weight/fixed members only) are bound in bulk through a
-    :class:`_StaticGroup`; dynamic runs (containing input-sourced members)
-    bind per-instruction with batch broadcasting.
-    """
-
-    __slots__ = ("wire", "left", "right", "members", "group", "row")
-
-    def __init__(self, wire, left, right, members, group=None, row=0):
-        self.wire = wire
-        self.left = left
-        self.right = right
-        self.members = members  # tuple of Operation
-        self.group = group
-        self.row = row
-
-    def bind(self, inputs, weights, with_grads, group_data, cdtype):
-        if self.group is not None:
-            fused, geffs = group_data[self.group]
-            matrix = fused[self.row]
-            if not with_grads:
-                return matrix, ()
-            grads = tuple(
-                (op.source, geffs[j][self.row])
-                for j, op in enumerate(self.members)
-                if op.source is not None
-            )
-            return matrix, grads
-
-        mats = []
-        for op in self.members:
-            if op.source is None:
-                mats.append(G.fixed_gate(op.name, cdtype))
-            else:
-                kind, index = op.source
-                theta = weights[index] if kind == "weight" else inputs[:, index]
-                mats.append(G.PARAMETRIC_GATES[op.name](theta, cdtype))
-        suffix = None
-        geff_by_pos = {}
-        for j in range(len(mats) - 1, -1, -1):
-            op = self.members[j]
-            if with_grads and op.source is not None:
-                gen = G.generator(op.name, cdtype)
-                geff_by_pos[j] = (
-                    gen if suffix is None else suffix @ gen @ _dagger(suffix)
-                )
-            suffix = mats[j] if suffix is None else np.matmul(suffix, mats[j])
-        grads = tuple(
-            (self.members[j].source, geff_by_pos[j]) for j in sorted(geff_by_pos)
-        )
-        return suffix, grads
-
-    def apply(self, state, data):
-        return _apply_1q_inplace(state, data[0], self.left, self.right)
-
-    def grad_and_unapply(self, psi, lam, data, grad_weights, grad_inputs):
-        matrix, grads = data
-        if grads:
-            lam_conj = np.conj(lam)
-            for source, geff in grads:
-                gen_psi = _apply_1q_copy(psi, geff, self.left, self.right)
-                per_sample = np.einsum("bj,bj->b", lam_conj, gen_psi).imag
-                _accumulate(source, per_sample, grad_weights, grad_inputs)
-        mat_dag = _dagger(matrix)
-        _apply_1q_inplace(psi, mat_dag, self.left, self.right)
-        _apply_1q_inplace(lam, mat_dag, self.left, self.right)
-        return psi, lam
-
-
-class _DiagRZ:
-    """A lone RZ: elementwise phase multiply over a precomputed bit mask."""
-
-    __slots__ = ("bit", "gdiag", "source")
-
-    def __init__(self, bit, source):
-        self.bit = bit  # (dim,) bool — wire bit of each basis index
-        self.gdiag = 1.0 - 2.0 * bit  # Z eigenvalues per basis index
-        self.source = source
-
-    def bind(self, inputs, weights, with_grads, group_data, cdtype):
-        kind, index = self.source
-        theta = weights[index] if kind == "weight" else inputs[:, index]
-        half = np.exp(-0.5j * np.asarray(theta)).astype(cdtype, copy=False)
-        if half.ndim == 0:
-            return np.where(self.bit, np.conj(half), half)
-        return np.where(self.bit[None, :], np.conj(half)[:, None], half[:, None])
-
-    def apply(self, state, data):
-        state *= data
-        return state
-
-    def grad_and_unapply(self, psi, lam, data, grad_weights, grad_inputs):
-        im = lam.real * psi.imag - lam.imag * psi.real  # Im(conj(lam) * psi)
-        _accumulate(self.source, im @ self.gdiag, grad_weights, grad_inputs)
-        phases_dag = np.conj(data)
-        psi *= phases_dag
-        lam *= phases_dag
-        return psi, lam
-
-
-class _DiagCRZ:
-    """CRZ as phase multiplies on the |10> and |11> index sets."""
-
-    __slots__ = ("idx10", "idx11", "source")
-
-    def __init__(self, idx10, idx11, source):
-        self.idx10 = idx10
-        self.idx11 = idx11
-        self.source = source
-
-    def bind(self, inputs, weights, with_grads, group_data, cdtype):
-        kind, index = self.source
-        theta = weights[index] if kind == "weight" else inputs[:, index]
-        phase = np.exp(-0.5j * np.asarray(theta)).astype(cdtype, copy=False)
-        return phase if phase.ndim == 0 else phase[:, None]
-
-    def _multiply(self, state, phase):
-        state[:, self.idx10] *= phase
-        state[:, self.idx11] *= np.conj(phase)
-        return state
-
-    def apply(self, state, data):
-        return self._multiply(state, data)
-
-    def grad_and_unapply(self, psi, lam, data, grad_weights, grad_inputs):
-        # Generator diag is +1 on |c=1,t=0>, -1 on |c=1,t=1>, 0 elsewhere.
-        per = (
-            (np.conj(lam[:, self.idx10]) * psi[:, self.idx10]).imag.sum(axis=1)
-            - (np.conj(lam[:, self.idx11]) * psi[:, self.idx11]).imag.sum(axis=1)
-        )
-        _accumulate(self.source, per, grad_weights, grad_inputs)
-        phase_dag = np.conj(data)
-        self._multiply(psi, phase_dag)
-        self._multiply(lam, phase_dag)
-        return psi, lam
-
-
-class _DiagSign:
-    """Self-inverse diagonal sign flip (CZ, Z) on a precomputed index set."""
-
-    __slots__ = ("idx",)
-
-    def __init__(self, idx):
-        self.idx = idx
-
-    def bind(self, inputs, weights, with_grads, group_data, cdtype):
-        return None
-
-    def apply(self, state, data):
-        state[:, self.idx] *= -1.0
-        return state
-
-    def grad_and_unapply(self, psi, lam, data, grad_weights, grad_inputs):
-        self.apply(psi, data)
-        self.apply(lam, data)
-        return psi, lam
-
-
-class _Permutation:
-    """Self-inverse basis-index gather (CNOT, X, SWAP)."""
-
-    __slots__ = ("perm",)
-
-    def __init__(self, perm):
-        self.perm = perm
-
-    def bind(self, inputs, weights, with_grads, group_data, cdtype):
-        return None
-
-    def apply(self, state, data):
-        return state[:, self.perm]
-
-    def grad_and_unapply(self, psi, lam, data, grad_weights, grad_inputs):
-        return psi[:, self.perm], lam[:, self.perm]
-
-
-# ---------------------------------------------------------------------------
-# Static-run bulk binding
-# ---------------------------------------------------------------------------
-
-class _StaticGroup:
-    """All weight-only fused runs sharing one (name, source-kind) signature.
-
-    Binding assembles the member matrices of every run in the group at once
-    (one vectorized gate construction per position) and computes fused
-    matrices plus effective generators with a single batched-matmul sweep.
-    """
-
-    __slots__ = ("length", "positions", "count")
-
-    def __init__(self, runs):
-        self.count = len(runs)
-        self.length = len(runs[0])
-        positions = []
-        for j in range(self.length):
-            op = runs[0][j]
-            if op.source is None:
-                positions.append((op.name, G.FIXED_GATES[op.name], None))
-            else:
-                widx = np.array([run[j].source[1] for run in runs], dtype=np.intp)
-                positions.append((op.name, None, widx))
-        self.positions = positions
-
-    def bind(self, weights, with_grads, cdtype):
-        mats = np.empty((self.count, self.length, 2, 2), dtype=cdtype)
-        for j, (name, const, widx) in enumerate(self.positions):
-            mats[:, j] = const if widx is None else G.PARAMETRIC_GATES[name](
-                weights[widx]
-            )
-        suffix = None
-        geffs: list[np.ndarray | None] = [None] * self.length
-        for j in range(self.length - 1, -1, -1):
-            name, const, widx = self.positions[j]
-            if with_grads and widx is not None:
-                gen = G.generator(name, cdtype)
-                if suffix is None:
-                    geffs[j] = np.broadcast_to(gen, (self.count, 2, 2))
-                else:
-                    geffs[j] = suffix @ gen @ _dagger(suffix)
-            layer = np.ascontiguousarray(mats[:, j])
-            suffix = layer if suffix is None else np.matmul(suffix, layer)
-        return suffix, geffs
-
-
-# ---------------------------------------------------------------------------
-# Compilation
-# ---------------------------------------------------------------------------
-
-class CompiledPlan:
-    """A lowered, reusable execution program for one circuit template."""
-
-    __slots__ = ("n_wires", "signature", "instructions", "groups")
-
-    def __init__(self, n_wires, signature, instructions, groups):
-        self.n_wires = n_wires
-        self.signature = signature
-        self.instructions = instructions
-        self.groups = groups
-
-    @property
-    def n_instructions(self) -> int:
-        return len(self.instructions)
-
-    def bind(self, inputs, weights, with_grads, cdtype=np.complex128) -> list:
-        """Resolve the plan against concrete parameters.
-
-        Returns one opaque data blob per instruction: fused matrices (and,
-        when ``with_grads``, effective generators) for dense runs, phase
-        factors for diagonal gates, None for parameter-free kernels.
-        ``cdtype`` is the complex dtype every bound matrix is produced in —
-        it must match the state the plan will run on.
-        """
-        cdtype = np.dtype(cdtype)
-        group_data = [g.bind(weights, with_grads, cdtype) for g in self.groups]
-        return [
-            instr.bind(inputs, weights, with_grads, group_data, cdtype)
-            for instr in self.instructions
-        ]
-
-    def run(self, state: np.ndarray, bound: list) -> np.ndarray:
-        """Execute the bound program, mutating ``state`` freely.
-
-        ``state`` must be a fresh C-contiguous ``(batch, 2**n)`` array the
-        caller does not need afterwards.
-        """
-        for instr, data in zip(self.instructions, bound):
-            state = instr.apply(state, data)
-        return state
-
-    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
-        return (
-            f"CompiledPlan(wires={self.n_wires}, "
-            f"instructions={len(self.instructions)}, groups={len(self.groups)})"
-        )
-
-
 def circuit_signature(circuit: Circuit) -> tuple:
     """A structural fingerprint; plans are reused while it is unchanged."""
     return (
@@ -440,117 +99,15 @@ def _validate_wires(op: Operation, n_wires: int) -> None:
         raise ValueError(f"wires {op.wires} out of range for {n_wires}-qubit state")
 
 
-def _make_run_instruction(wire, members, n_wires):
-    """Lower a flushed run: specialize singletons, fuse longer runs."""
-    left, right = 2**wire, 2 ** (n_wires - 1 - wire)
-    if len(members) == 1:
-        op = members[0]
-        if op.name == "RZ":
-            return _DiagRZ(_wire_bit(n_wires, wire), op.source)
-        if op.name == "Z":
-            return _DiagSign(np.nonzero(_wire_bit(n_wires, wire))[0])
-        if op.name == "X":
-            indices = np.arange(2**n_wires)
-            return _Permutation(indices ^ (1 << (n_wires - 1 - wire)))
-    return _Fused1Q(wire, left, right, tuple(members))
-
-
-def _make_two_qubit_instruction(op: Operation, n_wires: int):
-    indices = np.arange(2**n_wires)
-    shifts = [n_wires - 1 - w for w in op.wires]
-    bits = [(indices >> s) & 1 for s in shifts]
-    if op.name == "CNOT":
-        control, target = bits[0], shifts[1]
-        return _Permutation(indices ^ (control << target))
-    if op.name == "CZ":
-        return _DiagSign(np.nonzero(bits[0] & bits[1])[0])
-    if op.name == "SWAP":
-        diff = bits[0] ^ bits[1]
-        return _Permutation(indices ^ (diff << shifts[0]) ^ (diff << shifts[1]))
-    if op.name == "CRZ":
-        both = bits[0].astype(bool)
-        target = bits[1].astype(bool)
-        idx10 = np.nonzero(both & ~target)[0]
-        idx11 = np.nonzero(both & target)[0]
-        return _DiagCRZ(idx10, idx11, op.source)
-    raise ValueError(f"cannot lower two-qubit gate {op.name!r}")  # pragma: no cover
-
-
-def compile_circuit(circuit: Circuit) -> CompiledPlan:
-    """Lower a circuit into a :class:`CompiledPlan` (no caching)."""
-    n = circuit.n_wires
-    instructions: list = []
-    open_runs: dict[int, list[Operation]] = {}
-    # Static fused runs grouped by signature for bulk binding.
-    group_index: dict[tuple, int] = {}
-    group_runs: list[list[tuple[Operation, ...]]] = []
-
-    def flush(wire: int) -> None:
-        members = open_runs.pop(wire, None)
-        if not members:
-            return
-        instr = _make_run_instruction(wire, members, n)
-        if isinstance(instr, _Fused1Q) and all(
-            op.source is None or op.source[0] == "weight" for op in instr.members
-        ):
-            sig = tuple(
-                (op.name, None if op.source is None else op.source[0])
-                for op in instr.members
-            )
-            gid = group_index.setdefault(sig, len(group_runs))
-            if gid == len(group_runs):
-                group_runs.append([])
-            instr.group = gid
-            instr.row = len(group_runs[gid])
-            group_runs[gid].append(instr.members)
-        instructions.append(instr)
-
-    for op in circuit.ops:
-        _validate_wires(op, n)
-        if len(op.wires) == 1 and op.name in _SINGLE_QUBIT:
-            open_runs.setdefault(op.wires[0], []).append(op)
-        else:
-            for wire in op.wires:
-                flush(wire)
-            instructions.append(_make_two_qubit_instruction(op, n))
-    for wire in sorted(open_runs):
-        flush(wire)
-
-    groups = [_StaticGroup(runs) for runs in group_runs]
-    return CompiledPlan(n, circuit_signature(circuit), instructions, groups)
-
-
-# Structural plan cache: patched layers build p identical sub-circuits, which
-# all share one plan.  Keyed by the full signature, so it can never hand back
-# a stale program; bounded in practice by the handful of circuit shapes a
-# model uses.
-_PLAN_CACHE: dict[tuple, CompiledPlan] = {}
-
-
-def compiled_plan(circuit: Circuit) -> CompiledPlan:
-    """The circuit's cached plan, recompiled only if its structure changed."""
-    cached = getattr(circuit, "_compiled_plan", None)
-    signature = circuit_signature(circuit)
-    if cached is not None and cached.signature == signature:
-        return cached
-    plan = _PLAN_CACHE.get(signature)
-    if plan is None:
-        plan = compile_circuit(circuit)
-        _PLAN_CACHE[signature] = plan
-    circuit._compiled_plan = plan
-    return plan
-
-
 # ---------------------------------------------------------------------------
-# Stacked (multi-bind) execution
+# Dense-block kernels
 # ---------------------------------------------------------------------------
 #
-# A StackedPlan runs p structurally identical bindings of one circuit as a
-# single (p * batch, 2**n) pass.  The state is logically (p, batch, dim) with
-# the patch axis outermost; weight-bound gate matrices are (p, d, d) and
+# The state is logically (p, batch, dim) with the patch axis outermost (p = 1
+# for the per-instance view); weight-bound gate matrices are (p, d, d) and
 # broadcast along that axis, so every patch sees its own angles while each
 # numpy operation still covers the whole stack.  Input-bound matrices stay
-# per-row, (p * batch, d, d), exactly like the per-instance plan.
+# per-row, (p * batch, d, d).
 
 
 def _kron_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -692,7 +249,7 @@ def _transition_matrix(psi, lam, p, batch, left, d, right, per_patch):
 
 
 class StackedGradContext:
-    """Accumulators and scratch threaded through a stacked adjoint walk.
+    """Accumulators and scratch threaded through an adjoint walk.
 
     The cotangent ping-pongs between two preallocated buffers: each
     backward step reads the current ``lam`` array and writes its successor
@@ -718,8 +275,13 @@ class StackedGradContext:
         return self._scratch[1] if lam is self._scratch[0] else self._scratch[0]
 
 
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
 class _SDense:
-    """A stacked dense block: one fused run, or two merged on adjacent wires.
+    """A dense block: one fused run, or two merged on adjacent wires.
 
     ``slots`` holds one entry per wire of the block (1 or 2): the member
     operations of that wire's fused run plus its static-group coordinates
@@ -859,7 +421,7 @@ class _SDense:
 
 
 class _SDiagRZ:
-    """Stacked lone RZ: per-patch (or per-row) phase multiply on a bit mask."""
+    """Lone RZ: per-patch (or per-row) phase multiply on a bit mask."""
 
     __slots__ = ("bit", "gdiag", "source", "touched")
 
@@ -910,7 +472,7 @@ class _SDiagRZ:
 
 
 class _SDiagCRZ:
-    """Stacked CRZ: phase multiplies on the |10> / |11> index sets."""
+    """CRZ: phase multiplies on the |10> / |11> index sets."""
 
     __slots__ = ("idx10", "idx11", "source", "touched")
 
@@ -956,7 +518,7 @@ class _SDiagCRZ:
 
 
 class _SDiagSign:
-    """Stacked self-inverse sign flip (CZ, Z)."""
+    """Self-inverse diagonal sign flip (CZ, Z) on a precomputed index set."""
 
     __slots__ = ("idx", "touched")
 
@@ -983,8 +545,9 @@ class _SDiagSign:
 
 
 class _SPermutation:
-    """Stacked basis-index gather; consecutive permutations are composed at
-    compile time, so it carries an explicit inverse for the backward walk."""
+    """Basis-index gather (CNOT, X, SWAP); consecutive permutations are
+    composed at compile time, so it carries an explicit inverse for the
+    backward walk."""
 
     __slots__ = ("perm", "inv", "touched")
 
@@ -1019,10 +582,9 @@ class _SPermutation:
 class _SStaticGroup:
     """Bulk binding of weight-only fused runs against ``(p, n_weights)``.
 
-    The stacked counterpart of :class:`_StaticGroup`: one vectorized gate
-    construction per member position over a ``(p, count)`` angle table, one
-    batched-matmul sweep for fused matrices and effective generators —
-    all ``(p, count, 2, 2)``.
+    One vectorized gate construction per member position over a
+    ``(p, count)`` angle table, one batched-matmul sweep for fused matrices
+    and effective generators — all ``(p, count, 2, 2)``.
     """
 
     __slots__ = ("length", "positions", "count")
@@ -1062,6 +624,11 @@ class _SStaticGroup:
         return suffix, geffs
 
 
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
 class StackedPlan:
     """A lowered multi-bind program: p instances of one circuit per pass."""
 
@@ -1094,8 +661,8 @@ class StackedPlan:
     def run(self, state, bound: list, p: int, batch: int, record=None):
         """Execute the bound program on a ``(p * batch, 2**n)`` state.
 
-        Stacked instructions are *pure* — each apply returns a fresh array
-        and never mutates its input.  When ``record`` is a list, the
+        Instructions are *pure* — each apply returns a fresh array and
+        never mutates its input.  When ``record`` is a list, the
         post-instruction state is appended (by reference, no copies) for
         every instruction whose backward needs it; the adjoint walk then
         reads the ket side from these checkpoints instead of un-applying
@@ -1109,9 +676,45 @@ class StackedPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
-            f"StackedPlan(wires={self.n_wires}, "
+            f"{type(self).__name__}(wires={self.n_wires}, "
             f"instructions={len(self.instructions)}, groups={len(self.groups)})"
         )
+
+
+class CompiledPlan(StackedPlan):
+    """The per-instance plan: a degenerate ``p = 1`` view of the stack.
+
+    Same instructions, same kernels, same checkpointed transition-matrix
+    backward — only the entry-point shapes differ: ``bind`` takes a flat
+    ``(n_weights,)`` vector and ``run`` a plain ``(batch, 2**n)`` state.
+    :func:`compiled_plan` shares the lowered instruction list with
+    :func:`stacked_plan`, so a circuit used both ways is lowered once.
+    """
+
+    __slots__ = ()
+
+    def bind(self, inputs, weights, with_grads, cdtype=np.complex128) -> list:
+        """Resolve the plan against a flat ``(n_weights,)`` vector.
+
+        Returns one opaque data blob per instruction, exactly as the
+        stacked bind does for ``p = 1``.
+        """
+        batch = 1 if inputs is None else inputs.shape[0]
+        return StackedPlan.bind(
+            self, inputs, np.asarray(weights)[None, :], 1, batch,
+            with_grads, cdtype,
+        )
+
+    def run(self, state: np.ndarray, bound: list, record=None) -> np.ndarray:
+        """Execute the bound program on a ``(batch, 2**n)`` state."""
+        return StackedPlan.run(
+            self, state, bound, 1, state.shape[0], record=record
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
 
 
 def _schedule_stacked(instructions: list) -> list:
@@ -1178,6 +781,29 @@ def _schedule_stacked(instructions: list) -> list:
     return out
 
 
+def _lower_two_qubit(op: Operation, n_wires: int):
+    indices = np.arange(2**n_wires)
+    shifts = [n_wires - 1 - w for w in op.wires]
+    bits = [(indices >> s) & 1 for s in shifts]
+    if op.name == "CNOT":
+        control, target = bits[0], shifts[1]
+        return _SPermutation(indices ^ (control << target), op.wires)
+    if op.name == "CZ":
+        return _SDiagSign(np.nonzero(bits[0] & bits[1])[0], op.wires)
+    if op.name == "SWAP":
+        diff = bits[0] ^ bits[1]
+        return _SPermutation(
+            indices ^ (diff << shifts[0]) ^ (diff << shifts[1]), op.wires
+        )
+    if op.name == "CRZ":
+        both = bits[0].astype(bool)
+        target = bits[1].astype(bool)
+        idx10 = np.nonzero(both & ~target)[0]
+        idx11 = np.nonzero(both & target)[0]
+        return _SDiagCRZ(idx10, idx11, op.source, op.wires)
+    raise ValueError(f"cannot lower two-qubit gate {op.name!r}")  # pragma: no cover
+
+
 def compile_stacked(circuit: Circuit) -> StackedPlan:
     """Lower a circuit into a :class:`StackedPlan` (no caching)."""
     n = circuit.n_wires
@@ -1235,15 +861,7 @@ def compile_stacked(circuit: Circuit) -> StackedPlan:
         else:
             for wire in op.wires:
                 flush(wire)
-            lowered = _make_two_qubit_instruction(op, n)
-            if isinstance(lowered, _Permutation):
-                instructions.append(_SPermutation(lowered.perm, op.wires))
-            elif isinstance(lowered, _DiagSign):
-                instructions.append(_SDiagSign(lowered.idx, op.wires))
-            else:
-                instructions.append(
-                    _SDiagCRZ(lowered.idx10, lowered.idx11, op.source, op.wires)
-                )
+            instructions.append(_lower_two_qubit(op, n))
     for wire in sorted(open_runs):
         flush(wire)
 
@@ -1252,7 +870,25 @@ def compile_stacked(circuit: Circuit) -> StackedPlan:
     return StackedPlan(n, circuit_signature(circuit), instructions, groups)
 
 
+def compile_circuit(circuit: Circuit) -> CompiledPlan:
+    """Lower a circuit into a :class:`CompiledPlan` (no caching).
+
+    The per-instance plan is the same lowered program as the stacked one,
+    re-wrapped in the ``p = 1`` entry points.
+    """
+    plan = compile_stacked(circuit)
+    return CompiledPlan(
+        plan.n_wires, plan.signature, plan.instructions, plan.groups
+    )
+
+
+# Structural plan caches: patched layers build p identical sub-circuits,
+# which all share one lowered program; the per-instance cache re-wraps the
+# stacked program, so a circuit used both ways is lowered exactly once.
+# Keyed by the full signature, so they can never hand back a stale program;
+# bounded in practice by the handful of circuit shapes a model uses.
 _SPLAN_CACHE: dict[tuple, StackedPlan] = {}
+_PLAN_CACHE: dict[tuple, CompiledPlan] = {}
 
 
 def stacked_plan(circuit: Circuit) -> StackedPlan:
@@ -1266,4 +902,22 @@ def stacked_plan(circuit: Circuit) -> StackedPlan:
         plan = compile_stacked(circuit)
         _SPLAN_CACHE[signature] = plan
     circuit._stacked_plan = plan
+    return plan
+
+
+def compiled_plan(circuit: Circuit) -> CompiledPlan:
+    """The circuit's cached plan, recompiled only if its structure changed."""
+    cached = getattr(circuit, "_compiled_plan", None)
+    signature = circuit_signature(circuit)
+    if cached is not None and cached.signature == signature:
+        return cached
+    plan = _PLAN_CACHE.get(signature)
+    if plan is None:
+        stacked = stacked_plan(circuit)
+        plan = CompiledPlan(
+            stacked.n_wires, stacked.signature, stacked.instructions,
+            stacked.groups,
+        )
+        _PLAN_CACHE[signature] = plan
+    circuit._compiled_plan = plan
     return plan

@@ -18,7 +18,6 @@ from repro.qnn import (
     angle_expval_circuit,
     patch_qubits,
 )
-from repro.quantum import parameter_shift_gradients
 
 
 def _both_modes(factory, n_patches, x_data, seed=0):
@@ -83,7 +82,7 @@ class TestStackedEqualsSequential:
         np.testing.assert_allclose(o1, o2, atol=1e-10)
         np.testing.assert_allclose(gx1, gx2, atol=1e-10)
 
-    def test_weight_gradients_match_parameter_shift(self):
+    def test_weight_gradients_match_parameter_shift(self, gradcheck_shift):
         rng = np.random.default_rng(5)
         layer = PatchedQuantumLayer(
             lambda i: amplitude_encoder_circuit(2, 4, 1), n_patches=2, rng=rng
@@ -94,13 +93,14 @@ class TestStackedEqualsSequential:
         out.sum().backward()
         for index, patch in enumerate(layer.patches):
             chunk = x.data[:, index * 4 : (index + 1) * 4]
-            shift = parameter_shift_gradients(
+            gradcheck_shift(
                 patch.circuit,
                 chunk,
                 patch.weights.data,
                 np.ones((3, patch.output_dim)),
+                patch.weights.grad,
+                atol=1e-8,
             )
-            np.testing.assert_allclose(patch.weights.grad, shift, atol=1e-8)
 
     def test_loss_training_path_matches(self):
         rng = np.random.default_rng(6)

@@ -14,7 +14,6 @@ from repro.quantum import (
     Circuit,
     backward,
     execute,
-    parameter_shift_gradients,
     prepare_amplitude_state,
     sel_weight_count,
 )
@@ -190,7 +189,7 @@ class TestGradients:
         __, grad_w = backward(cache, np.ones_like(outputs))
         np.testing.assert_allclose(grad_w, [-np.sin(theta)], atol=1e-12)
 
-    def test_adjoint_matches_parameter_shift_expval(self):
+    def test_adjoint_matches_parameter_shift_expval(self, gradcheck_shift):
         circuit = (
             Circuit(3)
             .angle_embedding(3)
@@ -203,18 +202,16 @@ class TestGradients:
         outputs, cache = execute(circuit, x, weights)
         grad_outputs = rng.normal(size=outputs.shape)
         __, adjoint = backward(cache, grad_outputs)
-        shift = parameter_shift_gradients(circuit, x, weights, grad_outputs)
-        np.testing.assert_allclose(adjoint, shift, atol=1e-10)
+        gradcheck_shift(circuit, x, weights, grad_outputs, adjoint, atol=1e-10)
 
-    def test_adjoint_matches_parameter_shift_probs(self):
+    def test_adjoint_matches_parameter_shift_probs(self, gradcheck_shift):
         circuit = Circuit(2).strongly_entangling_layers(2).measure_probs()
         rng = np.random.default_rng(3)
         weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
         outputs, cache = execute(circuit, None, weights)
         grad_outputs = rng.normal(size=outputs.shape)
         __, adjoint = backward(cache, grad_outputs)
-        shift = parameter_shift_gradients(circuit, None, weights, grad_outputs)
-        np.testing.assert_allclose(adjoint, shift, atol=1e-10)
+        gradcheck_shift(circuit, None, weights, grad_outputs, adjoint, atol=1e-10)
 
     def test_input_gradients_match_finite_diff(self):
         circuit = (
@@ -289,7 +286,7 @@ class TestGradientProperties:
         use_probs=st.booleans(),
     )
     def test_adjoint_equals_shift_on_random_sel_circuits(
-        self, n_wires, n_layers, seed, use_probs
+        self, gradcheck_shift, n_wires, n_layers, seed, use_probs
     ):
         circuit = Circuit(n_wires).strongly_entangling_layers(n_layers)
         if use_probs:
@@ -301,8 +298,7 @@ class TestGradientProperties:
         outputs, cache = execute(circuit, None, weights)
         grad_outputs = rng.normal(size=outputs.shape)
         __, adjoint = backward(cache, grad_outputs)
-        shift = parameter_shift_gradients(circuit, None, weights, grad_outputs)
-        np.testing.assert_allclose(adjoint, shift, atol=1e-9)
+        gradcheck_shift(circuit, None, weights, grad_outputs, adjoint)
 
     @settings(max_examples=25, deadline=None)
     @given(

@@ -1,11 +1,13 @@
 """Property tests for the compiled execution engine.
 
-The compiled plan (fused single-qubit runs, diagonal/permutation kernels,
-bulk-bound static groups) must be *indistinguishable* from the naive op-by-op
-interpreter: identical forward outputs and identical adjoint gradients, to
-near machine precision, across randomized circuits covering every gate in
-``_PARAMETRIC | _FIXED``, both embeddings, both measurement kinds, and both
-shared and per-sample (batched) gate parameters.
+The compiled plan — since the unification, the degenerate ``p = 1`` view of
+the stacked block/kernel substrate (fused runs, adjacent-wire 4x4 kron
+pairs, diagonal/permutation kernels, composed ring gathers, checkpointed
+transition-matrix backward) — must be *indistinguishable* from the naive
+op-by-op interpreter: identical forward outputs and identical adjoint
+gradients, to near machine precision, across randomized circuits covering
+every gate in ``_PARAMETRIC | _FIXED``, both embeddings, both measurement
+kinds, and both shared and per-sample (batched) gate parameters.
 """
 
 import numpy as np
@@ -15,55 +17,16 @@ from hypothesis import given, settings, strategies as st
 from repro.quantum import (
     Circuit,
     Operation,
+    StackedPlan,
     backward,
     compile_circuit,
     compiled_plan,
     execute,
     naive_backward,
     naive_execute,
-    parameter_shift_gradients,
+    stacked_plan,
 )
-from repro.quantum.engine import _DiagCRZ, _DiagRZ, _DiagSign, _Fused1Q, _Permutation
-
-_ALL_GATES = ["RX", "RY", "RZ", "CRZ", "CNOT", "CZ", "SWAP", "H", "X", "Y", "Z"]
-
-
-def _random_circuit(rng, n_wires, n_ops, embedding, measurement, reupload):
-    """A random circuit over the full gate set.
-
-    ``reupload`` sprinkles input-sourced rotations through the body so fused
-    runs mix batched (per-sample) and shared matrices.
-    """
-    circuit = Circuit(n_wires)
-    if embedding == "amplitude":
-        circuit.amplitude_embedding(2**n_wires)
-    elif embedding == "angle":
-        circuit.angle_embedding(n_wires, rotation=str(rng.choice(["RX", "RY", "RZ"])))
-    for _ in range(n_ops):
-        name = _ALL_GATES[rng.integers(len(_ALL_GATES))]
-        if name in {"CRZ", "CNOT", "CZ", "SWAP"} and n_wires < 2:
-            name = "RY"
-        if name in {"CRZ", "CNOT", "CZ", "SWAP"}:
-            a, b = rng.choice(n_wires, size=2, replace=False)
-            wires = (int(a), int(b))
-        else:
-            wires = (int(rng.integers(n_wires)),)
-        if name in {"RX", "RY", "RZ"}:
-            if reupload and circuit.n_inputs and rng.random() < 0.3:
-                source = ("input", int(rng.integers(circuit.n_inputs)))
-            else:
-                source = ("weight", circuit._new_weight())
-        elif name == "CRZ":
-            source = ("weight", circuit._new_weight())
-        else:
-            source = None
-        circuit.ops.append(Operation(name, wires, source))
-    if measurement == "expval":
-        n_meas = int(rng.integers(1, n_wires + 1))
-        circuit.measure_expval(tuple(sorted(rng.choice(n_wires, n_meas, replace=False).tolist())))
-    else:
-        circuit.measure_probs()
-    return circuit
+from repro.quantum.engine import _SDense, _SDiagRZ, _SPermutation
 
 
 def _compare(circuit, inputs, weights, rng, atol=1e-10):
@@ -93,10 +56,13 @@ class TestCompiledMatchesNaive:
         reupload=st.booleans(),
     )
     def test_random_circuits(
-        self, seed, n_wires, n_ops, embedding, measurement, batch, reupload
+        self, random_circuit, seed, n_wires, n_ops, embedding, measurement,
+        batch, reupload
     ):
         rng = np.random.default_rng(seed)
-        circuit = _random_circuit(rng, n_wires, n_ops, embedding, measurement, reupload)
+        circuit = random_circuit(
+            rng, n_wires, n_ops, embedding, measurement, reupload
+        )
         weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
         if circuit.n_inputs:
             inputs = rng.uniform(0.1, 2.0, size=(batch, circuit.n_inputs))
@@ -110,7 +76,9 @@ class TestCompiledMatchesNaive:
         n_wires=st.integers(min_value=2, max_value=4),
         n_layers=st.integers(min_value=1, max_value=3),
     )
-    def test_sel_circuits_match_parameter_shift(self, seed, n_wires, n_layers):
+    def test_sel_circuits_match_parameter_shift(
+        self, gradcheck_shift, seed, n_wires, n_layers
+    ):
         rng = np.random.default_rng(seed)
         circuit = (
             Circuit(n_wires)
@@ -121,8 +89,7 @@ class TestCompiledMatchesNaive:
         weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
         inputs = rng.uniform(0.1, 2.0, size=(3, 2**n_wires))
         grad_outputs, gw_c = _compare(circuit, inputs, weights, rng)
-        shift = parameter_shift_gradients(circuit, inputs, weights, grad_outputs)
-        np.testing.assert_allclose(gw_c, shift, atol=1e-9)
+        gradcheck_shift(circuit, inputs, weights, grad_outputs, gw_c)
 
     def test_reuploading_circuit(self):
         rng = np.random.default_rng(11)
@@ -164,16 +131,18 @@ class TestCompiledMatchesNaive:
 
 
 class TestPlanLowering:
-    def test_sel_rot_triples_fuse(self):
+    def test_sel_rot_triples_fuse_into_pair_blocks(self):
         circuit = Circuit(4).strongly_entangling_layers(2).measure_expval()
         plan = compile_circuit(circuit)
-        fused = [i for i in plan.instructions if isinstance(i, _Fused1Q)]
-        perms = [i for i in plan.instructions if isinstance(i, _Permutation)]
-        # 2 layers x 4 wires: each Rot triple is one fused instruction.
-        assert len(fused) == 8
-        assert all(len(i.members) == 3 for i in fused)
-        assert len(perms) == 8  # the CNOT rings
-        assert plan.n_instructions == 16 < len(circuit.ops) == 32
+        dense = [i for i in plan.instructions if isinstance(i, _SDense)]
+        perms = [i for i in plan.instructions if isinstance(i, _SPermutation)]
+        # 2 layers x 4 wires: each layer's Rot triples merge into two 4x4
+        # kron pair blocks, and each CNOT ring composes into one gather.
+        assert len(dense) == 4
+        assert all(i.d == 4 for i in dense)
+        assert all(len(slot[0]) == 3 for i in dense for slot in i.slots)
+        assert len(perms) == 2
+        assert plan.n_instructions == 6 < len(circuit.ops) == 32
         # All Rot runs share one signature -> one bulk-bound static group.
         assert len(plan.groups) == 1
         assert plan.groups[0].count == 8
@@ -183,15 +152,15 @@ class TestPlanLowering:
         # two RYs fuse into a single run.
         circuit = Circuit(3).ry(0).cnot(1, 2).ry(0).measure_expval()
         plan = compile_circuit(circuit)
-        fused = [i for i in plan.instructions if isinstance(i, _Fused1Q)]
-        assert len(fused) == 1
-        assert len(fused[0].members) == 2
+        dense = [i for i in plan.instructions if isinstance(i, _SDense)]
+        assert len(dense) == 1
+        assert len(dense[0].slots[0][0]) == 2
 
     def test_two_qubit_gate_breaks_runs_on_its_wires(self):
         circuit = Circuit(2).ry(0).cnot(0, 1).ry(0).measure_expval()
         plan = compile_circuit(circuit)
-        fused = [i for i in plan.instructions if isinstance(i, _Fused1Q)]
-        assert len(fused) == 2
+        dense = [i for i in plan.instructions if isinstance(i, _SDense)]
+        assert len(dense) == 2
 
     def test_kernel_specialization(self):
         circuit = (
@@ -200,10 +169,12 @@ class TestPlanLowering:
         )
         plan = compile_circuit(circuit)
         kinds = [type(i).__name__ for i in plan.instructions]
+        # The lone X and the CNOT compose into a single gather.
         assert kinds == [
-            "_DiagRZ", "_DiagSign", "_DiagSign",
-            "_Permutation", "_Permutation", "_DiagCRZ",
+            "_SDiagRZ", "_SDiagSign", "_SDiagSign",
+            "_SPermutation", "_SDiagCRZ",
         ]
+        assert isinstance(plan.instructions[0], _SDiagRZ)
 
     def test_bad_wires_rejected_at_compile(self):
         circuit = Circuit(2).ry(1).measure_expval()
@@ -213,6 +184,44 @@ class TestPlanLowering:
         circuit.ops[-1] = Operation("CNOT", (1, 1))
         with pytest.raises(ValueError):
             execute(circuit, None, np.zeros(1))
+
+
+class TestUnifiedSubstrate:
+    """The per-instance plan IS the stacked substrate at p = 1."""
+
+    def test_compiled_plan_is_a_stacked_plan(self):
+        circuit = Circuit(3).strongly_entangling_layers(2).measure_expval()
+        assert isinstance(compiled_plan(circuit), StackedPlan)
+
+    def test_compiled_and_stacked_share_the_lowered_program(self):
+        # One lowering serves both views: the instruction list and static
+        # groups are the *same objects*, not structurally equal copies.
+        circuit = Circuit(4).strongly_entangling_layers(3).measure_expval()
+        cplan = compiled_plan(circuit)
+        splan = stacked_plan(circuit)
+        assert cplan.instructions is splan.instructions
+        assert cplan.groups is splan.groups
+
+    def test_single_circuit_equals_p1_stack(self):
+        from repro.quantum import backward_stacked, execute_stacked
+
+        rng = np.random.default_rng(31)
+        circuit = (
+            Circuit(3)
+            .amplitude_embedding(8)
+            .strongly_entangling_layers(2)
+            .measure_expval()
+        )
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 1.0, size=(4, 8))
+        out_c, cache_c = execute(circuit, inputs, weights)
+        out_s, cache_s = execute_stacked(circuit, inputs[None], weights[None])
+        np.testing.assert_array_equal(out_c, out_s[0])
+        grad_outputs = rng.normal(size=out_c.shape)
+        gi_c, gw_c = backward(cache_c, grad_outputs)
+        gi_s, gw_s = backward_stacked(cache_s, grad_outputs[None])
+        np.testing.assert_array_equal(gw_c, gw_s[0])
+        np.testing.assert_array_equal(gi_c, gi_s[0])
 
 
 class TestPlanCaching:
@@ -262,8 +271,11 @@ class TestCacheCarriesEmbedding:
         )
         np.testing.assert_allclose(cache.norms, np.linalg.norm(inputs, axis=1))
         # The cached embedding must be the pristine pre-circuit state, not
-        # the (in-place mutated) final state.
+        # the final state (pure applies never touch it).
         assert cache.embedded is not cache.final_state
+        np.testing.assert_allclose(
+            np.linalg.norm(cache.embedded, axis=1), np.ones(4), atol=1e-12
+        )
 
     def test_backward_twice_is_deterministic(self):
         rng = np.random.default_rng(22)

@@ -197,3 +197,120 @@ class TestDrawer:
         art = draw(circuit)
         middle = art.splitlines()[1]
         assert "|" in middle
+
+
+class TestNoiseEdgeCases:
+    """Zero-probability channels and boundary rates (satellite coverage)."""
+
+    def _circuit(self):
+        return Circuit(2).strongly_entangling_layers(1).measure_expval()
+
+    def test_zero_probability_model_is_noiseless(self):
+        assert NoiseModel().is_noiseless
+        assert NoiseModel(depolarizing=0.0, amplitude_damping=0.0).is_noiseless
+        assert not NoiseModel(depolarizing=1e-6).is_noiseless
+        assert not NoiseModel(amplitude_damping=1e-6).is_noiseless
+
+    def test_zero_probability_channels_bypass_trajectories(self):
+        # A noiseless model must delegate to the exact simulator: many
+        # trajectories give *identical* (not just statistically close)
+        # output, and the rng is never consumed.
+        circuit = self._circuit()
+        rng = np.random.default_rng(20)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        exact, __ = execute(circuit, None, weights, want_cache=False)
+        rng_state_before = np.random.default_rng(21)
+        out = noisy_execute(
+            circuit, None, weights, NoiseModel(0.0, 0.0), 50, rng_state_before
+        )
+        np.testing.assert_array_equal(out, exact)
+        # The generator was untouched: it still produces the same stream as
+        # a fresh generator with the same seed.
+        np.testing.assert_array_equal(
+            rng_state_before.random(4), np.random.default_rng(21).random(4)
+        )
+
+    def test_one_zero_channel_skips_only_that_channel(self):
+        # depolarizing=0 with full-rate damping on |1>: the depolarizing
+        # branch must never fire, and damping drives <Z> back to +1.
+        circuit = Circuit(1).rx(0).measure_expval()
+        outputs = noisy_execute(
+            circuit, None, np.array([np.pi]),
+            NoiseModel(depolarizing=0.0, amplitude_damping=1.0),
+            100, np.random.default_rng(22),
+        )
+        assert outputs[0, 0] > 0.9
+
+    def test_boundary_probability_one_is_valid_and_normalized(self):
+        circuit = Circuit(2).strongly_entangling_layers(1).measure_probs()
+        rng = np.random.default_rng(23)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        outputs = noisy_execute(
+            circuit, None, weights,
+            NoiseModel(depolarizing=1.0, amplitude_damping=1.0), 20, rng,
+        )
+        np.testing.assert_allclose(outputs.sum(axis=1), [1.0], atol=1e-9)
+
+
+class TestSamplingEdgeCases:
+    """Single-shot determinism and degenerate shot counts."""
+
+    def test_single_shot_deterministic_under_fixed_rng(self):
+        state = plus_state(4)
+        first = sample_basis_states(state, 1, np.random.default_rng(30))
+        second = sample_basis_states(state, 1, np.random.default_rng(30))
+        assert first.shape == (4, 1)
+        np.testing.assert_array_equal(first, second)
+
+    def test_single_shot_expval_is_an_eigenvalue(self):
+        # One shot of a Z measurement can only ever produce +1 or -1.
+        estimate = estimate_expval_z(
+            plus_state(8), (0,), 1, np.random.default_rng(31)
+        )
+        assert set(np.unique(estimate)) <= {-1.0, 1.0}
+
+    def test_single_shot_probability_estimate_is_one_hot(self):
+        estimate = estimate_probabilities(
+            plus_state(5), 1, np.random.default_rng(32)
+        )
+        np.testing.assert_array_equal(np.sort(estimate, axis=1)[:, :-1], 0.0)
+        np.testing.assert_allclose(estimate.sum(axis=1), 1.0)
+
+    def test_single_shot_on_deterministic_state_is_exact(self):
+        samples = sample_basis_states(zero_state(3), 1, np.random.default_rng(33))
+        np.testing.assert_array_equal(samples, 0)
+
+
+class TestDrawerOnFusedPlans:
+    """The drawer renders the *circuit*, one column per op — fusion in the
+    lowered plan must never change or truncate what is drawn."""
+
+    def test_fused_plan_circuit_draws_every_op(self):
+        from repro.quantum import compiled_plan
+
+        circuit = Circuit(3).strongly_entangling_layers(2).measure_expval()
+        plan = compiled_plan(circuit)
+        # The plan fuses aggressively (Rot triples -> pair blocks, rings ->
+        # one gather) ...
+        assert plan.n_instructions < len(circuit.ops)
+        # ... while the drawing still shows every weight slot and one "o"
+        # control per CNOT of both rings.
+        art = draw(circuit)
+        for w in range(circuit.n_weights):
+            assert f"(w{w})" in art
+        assert art.count("o") == 6
+
+    def test_adjacent_wire_merged_runs_keep_their_columns(self):
+        from repro.quantum import compiled_plan
+        from repro.quantum.engine import _SDense
+
+        circuit = Circuit(2).rot(0).rot(1).measure_expval()
+        plan = compiled_plan(circuit)
+        pairs = [
+            i for i in plan.instructions
+            if isinstance(i, _SDense) and i.d == 4
+        ]
+        assert len(pairs) == 1  # the two Rot runs merged into one 4x4 block
+        art = draw(circuit)
+        lines = art.splitlines()
+        assert "RZ(w0)" in lines[0] and "RZ(w3)" in lines[1]

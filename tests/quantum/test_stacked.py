@@ -16,7 +16,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.quantum import (
     Circuit,
-    Operation,
     backward,
     backward_stacked,
     compile_stacked,
@@ -26,43 +25,6 @@ from repro.quantum import (
 )
 from repro.quantum.autodiff import _NORM_EPS, _prepare_amplitude
 from repro.quantum.engine import _SDense, _SPermutation
-
-_ALL_GATES = ["RX", "RY", "RZ", "CRZ", "CNOT", "CZ", "SWAP", "H", "X", "Y", "Z"]
-
-
-def _random_circuit(rng, n_wires, n_ops, embedding, measurement, reupload):
-    circuit = Circuit(n_wires)
-    if embedding == "amplitude":
-        circuit.amplitude_embedding(2**n_wires)
-    elif embedding == "angle":
-        circuit.angle_embedding(n_wires, rotation=str(rng.choice(["RX", "RY", "RZ"])))
-    for _ in range(n_ops):
-        name = _ALL_GATES[rng.integers(len(_ALL_GATES))]
-        if name in {"CRZ", "CNOT", "CZ", "SWAP"} and n_wires < 2:
-            name = "RY"
-        if name in {"CRZ", "CNOT", "CZ", "SWAP"}:
-            a, b = rng.choice(n_wires, size=2, replace=False)
-            wires = (int(a), int(b))
-        else:
-            wires = (int(rng.integers(n_wires)),)
-        if name in {"RX", "RY", "RZ"}:
-            if reupload and circuit.n_inputs and rng.random() < 0.3:
-                source = ("input", int(rng.integers(circuit.n_inputs)))
-            else:
-                source = ("weight", circuit._new_weight())
-        elif name == "CRZ":
-            source = ("weight", circuit._new_weight())
-        else:
-            source = None
-        circuit.ops.append(Operation(name, wires, source))
-    if measurement == "expval":
-        n_meas = int(rng.integers(1, n_wires + 1))
-        circuit.measure_expval(
-            tuple(sorted(rng.choice(n_wires, n_meas, replace=False).tolist()))
-        )
-    else:
-        circuit.measure_probs()
-    return circuit
 
 
 def _compare_stacked(circuit, p, batch, rng, inputs=None, atol=1e-10):
@@ -97,10 +59,11 @@ class TestStackedMatchesPerInstance:
         reupload=st.booleans(),
     )
     def test_random_circuits(
-        self, seed, n_wires, n_ops, embedding, measurement, p, batch, reupload
+        self, random_circuit, seed, n_wires, n_ops, embedding, measurement, p,
+        batch, reupload
     ):
         rng = np.random.default_rng(seed)
-        circuit = _random_circuit(
+        circuit = random_circuit(
             rng, n_wires, n_ops, embedding, measurement, reupload
         )
         inputs = (
