@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Backend mode: run the quantum engine on interchangeable kernel sets.
+
+The compiled plans in ``repro.quantum.engine`` are backend-agnostic: the
+same lowered program dispatches onto whatever kernel set is active.  Two
+backends ship — the default single-threaded NumPy kernels, and a
+``ThreadedBackend`` that shards the stacked ``(p * batch, 2**n)`` row
+dimension across a worker pool (a real win on multi-core hosts, a clean
+degrade to the NumPy kernels on serial ones).  Selection mirrors the
+precision policy exactly: per layer (``backend="threaded"``), per scope
+(``with use_backend("threaded")``), per run
+(``TrainConfig(backend="threaded")``), or process-wide via the
+``REPRO_BACKEND`` environment variable.
+
+Run:
+    python examples/backend_mode.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.models import ScalableQuantumAE
+from repro.nn import Tensor, functional as F
+from repro.quantum import ThreadedBackend, resolve_backend, use_backend
+
+INPUT_DIM = 1024
+N_PATCHES = 16
+BATCH = 32
+STEPS = 3
+
+
+def build():
+    return ScalableQuantumAE(
+        input_dim=INPUT_DIM,
+        n_patches=N_PATCHES,
+        n_layers=5,
+        rng=np.random.default_rng(0),
+    )
+
+
+def training_step_time(model, x, backend):
+    from repro.nn import heterogeneous_adam
+
+    optimizer = heterogeneous_adam(model, quantum_lr=0.03, classical_lr=0.01)
+
+    def step():
+        optimizer.zero_grad()
+        out = model(x)
+        loss = F.mse_loss(out.reconstruction, x)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    with use_backend(backend):
+        step()  # warmup (plan compilation, pool spin-up)
+        best = float("inf")
+        for _ in range(STEPS):
+            start = time.perf_counter()
+            loss = step()
+            best = min(best, time.perf_counter() - start)
+    return best, loss
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    features = np.abs(rng.normal(size=(BATCH, INPUT_DIM))) + 0.01
+    x = Tensor(features)
+
+    threaded = resolve_backend("threaded")
+    print(f"threaded backend resolves to {threaded.max_workers} worker(s)")
+
+    # 1. Backends are exact, not approximate: same weights, same outputs.
+    #    (min_shard_elements=1 forces sharding even for small states, so
+    #    the parallel code path is what gets compared.)
+    model = build()
+    out_numpy = model(x).reconstruction.data
+    with use_backend(ThreadedBackend(max_workers=4, min_shard_elements=1)):
+        out_threaded = model(x).reconstruction.data
+    print("max |threaded - numpy| deviation: "
+          f"{np.abs(out_threaded - out_numpy).max():.2e}")
+
+    # 2. Wall-clock per optimizer step at the paper's largest patch count
+    #    (p=16, batch=32 — the stacked row dimension is 512, which shards
+    #    across the pool per kernel).
+    t_numpy, loss_n = training_step_time(build(), x, "numpy")
+    t_threaded, loss_t = training_step_time(build(), x, "threaded")
+    print(f"numpy    step: {t_numpy * 1e3:7.1f} ms (loss {loss_n:.5f})")
+    print(f"threaded step: {t_threaded * 1e3:7.1f} ms (loss {loss_t:.5f})")
+    print(f"speedup: {t_numpy / t_threaded:.2f}x "
+          f"({threaded.max_workers} worker(s); ~1.0x expected on one core)")
+
+    # 3. The knobs compose with the precision policy: a float32 model on
+    #    the threaded backend stacks both bandwidth levers.
+    model32 = ScalableQuantumAE(
+        input_dim=INPUT_DIM, n_patches=N_PATCHES, n_layers=5,
+        rng=np.random.default_rng(0), dtype="float32",
+    )
+    with use_backend("threaded"):
+        out32 = model32(Tensor(features, dtype=np.float32)).reconstruction
+    print(f"float32 + threaded reconstruction dtype: {out32.data.dtype}")
+
+
+if __name__ == "__main__":
+    main()

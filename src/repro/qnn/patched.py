@@ -33,6 +33,7 @@ from ..nn.modules import Module, ModuleList
 from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor, is_grad_enabled
 from ..quantum.autodiff import backward_stacked, execute_stacked
+from ..quantum.backends import resolve_backend
 from ..quantum.circuit import Circuit
 from ..quantum.engine import circuit_signature, stacked_plan
 from .qlayer import QuantumLayer
@@ -86,6 +87,11 @@ class PatchedQuantumLayer(Module):
         Precision spec resolved at construction and shared by every patch:
         weights live in its real dtype, the stacked pass runs at its paired
         complex dtype.  None follows the active precision policy.
+    backend:
+        Kernel backend spec shared by every patch and by the stacked pass.
+        An explicit backend pins this layer to it; None follows the active
+        backend policy at each forward (so a ``use_backend`` scope around
+        training takes effect without rebuilding the layer).
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class PatchedQuantumLayer(Module):
         init_scale: float = np.pi,
         stacked: bool = True,
         dtype=None,
+        backend=None,
     ):
         super().__init__()
         if n_patches < 1:
@@ -103,6 +110,7 @@ class PatchedQuantumLayer(Module):
         rng = fresh_rng(rng)
         self.n_patches = n_patches
         self.precision = resolve_precision(dtype)
+        self.backend = None if backend is None else resolve_backend(backend)
         # Each QuantumLayer compiles its circuit at construction; structurally
         # identical patch circuits (the common case: one factory with
         # per-patch weights) dedupe to a single shared plan in the engine's
@@ -113,6 +121,7 @@ class PatchedQuantumLayer(Module):
                 rng=rng,
                 init_scale=init_scale,
                 dtype=self.precision,
+                backend=self.backend,
             )
             for i in range(n_patches)
         )
@@ -170,7 +179,7 @@ class PatchedQuantumLayer(Module):
         )
         stacked_out, cache = execute_stacked(
             self._template, inputs, weights, want_cache=track,
-            dtype=self.precision,
+            dtype=self.precision, backend=self.backend,
         )
         per_out = stacked_out.shape[2]
         out = Tensor(

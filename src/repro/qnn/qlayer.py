@@ -21,6 +21,7 @@ from ..nn.precision import resolve_precision
 from ..nn.tensor import Tensor, is_grad_enabled
 from ..quantum.autodiff import backward as q_backward
 from ..quantum.autodiff import execute as q_execute
+from ..quantum.backends import resolve_backend
 from ..quantum.circuit import Circuit
 from ..quantum.engine import compiled_plan
 
@@ -53,6 +54,13 @@ class QuantumLayer(Module):
         resolved at construction: the rotation weights live in its real
         dtype and every execution runs at its paired complex dtype.  None
         follows the active precision policy (float64 by default).
+    backend:
+        Kernel backend spec (:func:`repro.quantum.backends
+        .resolve_backend`).  An explicit backend (``"threaded"``, or an
+        instance) pins every execution of this layer to it; None — the
+        default — follows the *active* backend policy at each forward, so
+        ``with use_backend("threaded"):`` around training accelerates an
+        already-built layer.
     """
 
     def __init__(
@@ -62,6 +70,7 @@ class QuantumLayer(Module):
         init_scale: float = np.pi,
         input_prefix: bool = False,
         dtype=None,
+        backend=None,
     ):
         super().__init__()
         if circuit.measurement is None:
@@ -69,6 +78,9 @@ class QuantumLayer(Module):
         self.circuit = circuit
         self.input_prefix = bool(input_prefix)
         self.precision = resolve_precision(dtype)
+        # None stays None: the layer then follows the active backend policy
+        # at call time instead of freezing it at construction.
+        self.backend = None if backend is None else resolve_backend(backend)
         # Pay plan compilation at construction; every forward/backward then
         # binds and runs the cached program.
         compiled_plan(circuit)
@@ -113,6 +125,7 @@ class QuantumLayer(Module):
             self.weights.data,
             want_cache=track,
             dtype=self.precision,
+            backend=self.backend,
         )
         out = Tensor(outputs)
         if not track:

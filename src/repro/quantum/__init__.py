@@ -41,6 +41,14 @@ The pre-compilation op-by-op interpreter survives as ``naive_execute`` /
 ``naive_backward``, the reference implementation that the compiled engine is
 property-tested against and benchmarked from.
 
+Kernel *implementations* are pluggable (:mod:`repro.quantum.backends`):
+plans are backend-agnostic, and every run binds the active
+:class:`~repro.quantum.backends.KernelBackend`'s kernels — the
+single-threaded NumPy set by default, or the row-sharding
+:class:`~repro.quantum.backends.ThreadedBackend` selected per call
+(``backend="threaded"``), per scope (:func:`use_backend`), or process-wide
+(``REPRO_BACKEND``).
+
 ``p`` structurally identical circuit instances (the patched encoder's
 sub-circuits) execute as one stacked ``(p * batch, 2**n)`` pass through a
 :class:`~repro.quantum.engine.StackedPlan` via
@@ -53,6 +61,17 @@ block — returns every instance's gradients.
 """
 
 from . import gates
+from .backends import (
+    KernelBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    default_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from .autodiff import (
     ExecutionCache,
     StackedExecutionCache,
@@ -118,6 +137,15 @@ __all__ = [
     "compile_stacked",
     "compiled_plan",
     "stacked_plan",
+    "KernelBackend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "default_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "parameter_shift_gradients",
     "parameter_shift_jacobian",
     "apply_gate",

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..nn.precision import Precision, real_dtype_for, resolve_precision
 from . import gates as G
+from .backends import KernelBackend, resolve_backend
 from .circuit import Circuit, Operation
 from .engine import (
     CompiledPlan,
@@ -78,7 +79,9 @@ class ExecutionCache:
     per-instruction post-states the plan recorded by reference — the ket
     side of the adjoint walk.  ``embedded``/``norms``/``zero_rows`` carry
     the amplitude-embedded initial state so the backward pass never
-    recomputes the embedding.
+    recomputes the embedding.  ``backend`` is the kernel set the forward
+    pass ran on; the backward walk reuses it, so one execution is served by
+    one backend end to end.
     """
 
     circuit: Circuit
@@ -93,6 +96,7 @@ class ExecutionCache:
     embedded: np.ndarray | None = None  # (batch, 2**n) amplitude-embedded state
     norms: np.ndarray | None = None  # (batch,) embedding norms
     zero_rows: np.ndarray | None = None  # (batch,) bool, zero-fallback rows
+    backend: KernelBackend | None = None  # kernel set of the forward pass
 
 
 @dataclass
@@ -116,10 +120,15 @@ class StackedExecutionCache:
     embedded: np.ndarray | None = None  # (p * batch, 2**n)
     norms: np.ndarray | None = None  # (p * batch,)
     zero_rows: np.ndarray | None = None  # (p * batch,) bool
+    backend: KernelBackend | None = None  # kernel set of the forward pass
 
 
 def prepare_amplitude_state(
-    features: np.ndarray, n_wires: int, zero_fallback: bool = False, dtype=None
+    features: np.ndarray,
+    n_wires: int,
+    zero_fallback: bool = False,
+    dtype=None,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Amplitude-embed a ``(batch, d)`` feature block into ``(batch, 2**n)``.
 
@@ -128,10 +137,12 @@ def prepare_amplitude_state(
     Returns the complex state and the per-sample norms (needed for input
     gradients).  All-zero samples raise unless ``zero_fallback`` is set, in
     which case they embed as |0...0> with zero gradient.  ``dtype`` selects
-    the precision pair (None follows the active policy).
+    the precision pair and ``backend`` the kernel set (None follows the
+    active policies).
     """
     state, norms, _zero_rows = _prepare_amplitude(
-        features, n_wires, zero_fallback, resolve_precision(dtype)
+        features, n_wires, zero_fallback, resolve_precision(dtype),
+        resolve_backend(backend),
     )
     return state, norms
 
@@ -154,15 +165,25 @@ def _prepare_amplitude(
     n_wires: int,
     zero_fallback: bool,
     prec: Precision | None = None,
+    backend: KernelBackend | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Like :func:`prepare_amplitude_state` but also returns the zero mask."""
+    """Like :func:`prepare_amplitude_state` but also returns the zero mask.
+
+    ``backend=None`` keeps the plain NumPy norm — the naive interpreter's
+    embedding must stay a backend-free reference, exactly like
+    :func:`_measure` (callers that want backend kernels resolve first).
+    """
     if prec is None:
         prec = resolve_precision(None)
     batch, d = features.shape
     dim = 2**n_wires
     padded = np.zeros((batch, dim), dtype=prec.real)
     padded[:, :d] = features
-    norms = np.linalg.norm(padded, axis=1)
+    norms = (
+        np.linalg.norm(padded, axis=1)
+        if backend is None
+        else backend.row_norms(padded)
+    )
     eps = _norm_eps(prec.real)
     zero_rows = norms < eps
     if np.any(zero_rows):
@@ -202,6 +223,7 @@ def _validate_and_prepare(
     inputs: np.ndarray | None,
     weights: np.ndarray,
     prec: Precision,
+    backend: KernelBackend | None = None,
 ):
     """Shared entry checks; returns (inputs, weights, batch, state, embedding).
 
@@ -234,7 +256,8 @@ def _validate_and_prepare(
     if circuit.state_prep is not None:
         __, n_features, zero_fallback = circuit.state_prep
         state, norms, zero_rows = _prepare_amplitude(
-            inputs[:, :n_features], circuit.n_wires, zero_fallback, prec
+            inputs[:, :n_features], circuit.n_wires, zero_fallback, prec,
+            backend,
         )
         embedding = (state, norms, zero_rows)
     else:
@@ -243,11 +266,23 @@ def _validate_and_prepare(
     return inputs, weights, batch, state, embedding
 
 
-def _measure(circuit: Circuit, state: np.ndarray) -> np.ndarray:
+def _measure(
+    circuit: Circuit, state: np.ndarray, backend: KernelBackend | None = None
+) -> np.ndarray:
+    """Measure through ``backend``'s contraction kernels.
+
+    ``backend=None`` keeps the plain :mod:`repro.quantum.state` helpers —
+    the naive interpreter stays a backend-free reference implementation.
+    """
     kind, wires = circuit.measurement
+    if backend is None:
+        if kind == "expval":
+            return expval_z(state, wires)
+        return probabilities(state)
     if kind == "expval":
-        return expval_z(state, wires)
-    return probabilities(state)
+        signs = z_signs(num_wires(state), dtype=real_dtype_for(state.dtype))
+        return backend.expvals(state, signs[list(wires)])
+    return backend.probabilities(state)
 
 
 def execute(
@@ -256,6 +291,7 @@ def execute(
     weights: np.ndarray,
     want_cache: bool = True,
     dtype=None,
+    backend=None,
 ) -> tuple[np.ndarray, ExecutionCache | None]:
     """Run the circuit on a batch via its compiled plan.
 
@@ -273,6 +309,11 @@ def execute(
         Precision spec (:func:`repro.nn.precision.resolve_precision`):
         None follows the active policy (float64/complex128 by default);
         ``"float32"`` runs the whole pass at complex64.
+    backend:
+        Kernel backend spec (:func:`repro.quantum.backends
+        .resolve_backend`): None follows the active backend policy;
+        ``"threaded"`` shards the row dimension across a worker pool.
+        The plan is backend-agnostic — only the kernels change.
 
     Returns
     -------
@@ -283,8 +324,9 @@ def execute(
         Pass to :func:`backward`, or None when ``want_cache=False``.
     """
     prec = resolve_precision(dtype)
+    backend = resolve_backend(backend)
     inputs, weights, batch, state, embedding = _validate_and_prepare(
-        circuit, inputs, weights, prec
+        circuit, inputs, weights, prec, backend
     )
     embedded, norms, zero_rows = embedding
     plan = compiled_plan(circuit)
@@ -292,8 +334,8 @@ def execute(
     # Plan instructions are pure, so the embedded state survives the run
     # untouched and post-block states can be checkpointed by reference.
     record: list | None = [] if want_cache else None
-    state = plan.run(state, bound, record=record)
-    outputs = _measure(circuit, state)
+    state = plan.run(state, bound, record=record, backend=backend)
+    outputs = _measure(circuit, state, backend)
     if not want_cache:
         return outputs, None
     cache = ExecutionCache(
@@ -308,6 +350,7 @@ def execute(
         embedded=embedded,
         norms=norms,
         zero_rows=zero_rows,
+        backend=backend,
     )
     return outputs, cache
 
@@ -318,6 +361,7 @@ def execute_stacked(
     weights: np.ndarray,
     want_cache: bool = True,
     dtype=None,
+    backend=None,
 ) -> tuple[np.ndarray, StackedExecutionCache | None]:
     """Run ``p`` weight-bindings of one circuit template as a single pass.
 
@@ -343,6 +387,11 @@ def execute_stacked(
         None follows the active policy; ``"float32"`` runs the stacked
         pass at complex64 — halving the bytes every kernel moves, which is
         the lever on this bandwidth-bound path.
+    backend:
+        Kernel backend spec (:func:`repro.quantum.backends
+        .resolve_backend`): None follows the active backend policy;
+        ``"threaded"`` shards the ``p * batch`` row dimension across a
+        worker pool — the other lever on the bandwidth-bound stacked path.
 
     Returns
     -------
@@ -352,6 +401,7 @@ def execute_stacked(
         Pass to :func:`backward_stacked`, or None when ``want_cache=False``.
     """
     prec = resolve_precision(dtype)
+    backend = resolve_backend(backend)
     if circuit.measurement is None:
         raise ValueError("circuit has no measurement; call measure_* first")
     weights = np.asarray(weights, dtype=prec.real)
@@ -382,7 +432,8 @@ def execute_stacked(
     if circuit.state_prep is not None:
         __, n_features, zero_fallback = circuit.state_prep
         state, norms, zero_rows = _prepare_amplitude(
-            flat_inputs[:, :n_features], circuit.n_wires, zero_fallback, prec
+            flat_inputs[:, :n_features], circuit.n_wires, zero_fallback, prec,
+            backend,
         )
         embedded = state
     else:
@@ -396,8 +447,8 @@ def execute_stacked(
     # Stacked applies are pure, so the embedded state survives the run
     # untouched and post-block states can be checkpointed by reference.
     record: list | None = [] if want_cache else None
-    state = plan.run(state, bound, p, batch, record=record)
-    outputs = _measure(circuit, state).reshape(p, batch, -1)
+    state = plan.run(state, bound, p, batch, record=record, backend=backend)
+    outputs = _measure(circuit, state, backend).reshape(p, batch, -1)
     if not want_cache:
         return outputs, None
     cache = StackedExecutionCache(
@@ -412,6 +463,7 @@ def execute_stacked(
         embedded=embedded,
         norms=norms,
         zero_rows=zero_rows,
+        backend=backend,
     )
     return outputs, cache
 
@@ -468,6 +520,7 @@ def backward_stacked(
         grad_inputs,
         cache.final_state.shape,
         dtype=cache.final_state.dtype,
+        backend=cache.backend,
     )
     lam = _adjoint_walk(cache.plan, cache.bound, cache.checkpoints, lam, ctx)
     if want_inputs:
@@ -640,6 +693,7 @@ def backward(
         grad_inputs,
         cache.final_state.shape,
         dtype=cache.final_state.dtype,
+        backend=cache.backend,
     )
     lam = _adjoint_walk(cache.plan, cache.bound, cache.checkpoints, lam, ctx)
     _amplitude_input_grads(cache, lam, grad_inputs)

@@ -25,18 +25,50 @@ __all__ = [
 def sample_basis_states(
     state: np.ndarray, shots: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Draw ``shots`` basis-state indices per batch element: ``(batch, shots)``."""
+    """Draw ``shots`` basis-state indices per batch element: ``(batch, shots)``.
+
+    The draw is a vectorized inverse-CDF lookup: one ``cumsum`` over the
+    probability rows and one ``searchsorted`` over all ``batch * shots``
+    uniforms (each row's CDF is offset by its row index so a single sorted
+    array serves every row) — no per-row Python loop, which is what makes
+    ``bench_shot_noise``-style sweeps over many states cheap.
+    """
     if shots < 1:
         raise ValueError("shots must be positive")
     probs = probabilities(state)
     # Guard against tiny negative / rounding drift before sampling.
     probs = np.clip(probs, 0.0, None)
-    probs /= probs.sum(axis=1, keepdims=True)
+    totals = probs.sum(axis=1)
+    dead = np.flatnonzero(~np.isfinite(totals) | (totals <= 0.0))
+    if dead.size:
+        # A zero-mass (or NaN/inf, e.g. from a diverged run) row used to
+        # divide to NaN and crash inside rng.choice with an opaque error —
+        # or, worse, feed searchsorted an unsorted CDF and return garbage
+        # indices; name the offending rows instead.
+        raise ValueError(
+            f"cannot sample from state row(s) {dead.tolist()}: "
+            "probability mass is zero or non-finite (all-zero or diverged "
+            "statevector?)"
+        )
     batch, dim = probs.shape
-    out = np.empty((batch, shots), dtype=np.int64)
-    for b in range(batch):
-        out[b] = rng.choice(dim, size=shots, p=probs[b])
-    return out
+    cdf = np.cumsum(probs, axis=1)
+    cdf /= cdf[:, -1:].copy()
+    cdf[:, -1] = 1.0  # exact upper edge despite rounding
+    # Offset row b's CDF (and its uniforms, drawn in [0, 1)) by b: the
+    # flattened CDF is globally non-decreasing, so one searchsorted
+    # resolves every row's draws at once.
+    offsets = np.arange(batch, dtype=np.float64)[:, None]
+    flat_cdf = (cdf + offsets).ravel()
+    draws = rng.random((batch, shots)) + offsets
+    # A draw within half an ulp of 1.0 can round up to exactly the next
+    # row boundary (u + b == b + 1), which would walk past row b's CDF
+    # segment and return an out-of-range index; clamp each row's draws
+    # strictly below its boundary so the worst case resolves to the row's
+    # last nonzero-probability state instead.
+    np.minimum(draws, np.nextafter(offsets + 1.0, -np.inf), out=draws)
+    flat_idx = np.searchsorted(flat_cdf, draws.ravel(), side="right")
+    out = flat_idx.reshape(batch, shots) - (np.arange(batch) * dim)[:, None]
+    return out.astype(np.int64, copy=False)
 
 
 def estimate_expval_z(
@@ -66,11 +98,10 @@ def estimate_probabilities(
     samples = sample_basis_states(state, shots, rng)
     dim = state.shape[1]
     batch = state.shape[0]
-    estimates = np.zeros((batch, dim), dtype=np.float64)
-    for b in range(batch):
-        counts = np.bincount(samples[b], minlength=dim)
-        estimates[b] = counts / shots
-    return estimates
+    # One bincount over row-offset indices replaces the per-row loop.
+    offset = samples + (np.arange(batch) * dim)[:, None]
+    counts = np.bincount(offset.ravel(), minlength=batch * dim)
+    return counts.reshape(batch, dim) / shots
 
 
 def shot_noise_std(expval: np.ndarray, shots: int) -> np.ndarray:

@@ -8,15 +8,19 @@ for classical weights.  :class:`TrainConfig` exposes exactly those knobs.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from ..data.loader import ArrayDataset, DataLoader
 from ..models.base import Autoencoder
-from ..nn.optim import heterogeneous_adam
+from ..nn.optim import Optimizer, heterogeneous_adam
 from ..nn.precision import resolve_precision, use_precision
+from ..nn.schedulers import LRScheduler
 from ..nn.tensor import Tensor, no_grad
+from ..quantum.backends import resolve_backend, use_backend
 from .history import EpochRecord, History
 from .losses import autoencoder_loss
 
@@ -64,6 +68,16 @@ class TrainConfig:
     # the policy over the loop, so gradients/optimizer state follow too —
     # pair with a model built with the same dtype to train fully in float32.
     precision: str | None = None
+    # Kernel backend for the whole run (None = active policy, NumPy by
+    # default).  "threaded" scopes the row-sharding backend over the loop,
+    # so every quantum layer's stacked passes run on the worker pool.
+    backend: str | None = None
+    # Learning-rate schedule: a factory called once with the optimizer
+    # (e.g. ``lambda opt: StepLR(opt, step_size=5, gamma=0.5)``) and
+    # stepped once per epoch.  Schedulers rescale every parameter group
+    # relative to its initial lr, so the paper's heterogeneous
+    # quantum/classical ratio is preserved across the decay.
+    scheduler: Callable[[Optimizer], LRScheduler] | None = None
 
     @classmethod
     def paper_sq(cls, epochs: int = 20, seed: int = 0) -> "TrainConfig":
@@ -83,8 +97,19 @@ class Trainer:
         self.model = model
         self.config = config
         self.precision = resolve_precision(config.precision)
+        # None stays None (follow the active backend policy at fit time —
+        # a caller's use_backend scope must not be overridden); an
+        # explicit config.backend pins the whole run.
+        self.backend = (
+            None if config.backend is None else resolve_backend(config.backend)
+        )
         self.optimizer = heterogeneous_adam(
             model, quantum_lr=config.quantum_lr, classical_lr=config.classical_lr
+        )
+        self.scheduler = (
+            config.scheduler(self.optimizer)
+            if config.scheduler is not None
+            else None
         )
 
     def fit(
@@ -94,12 +119,17 @@ class Trainer:
     ) -> History:
         """Train for ``config.epochs`` epochs; evaluates test loss per epoch.
 
-        The whole loop runs under the config's precision policy: batches
+        The whole loop runs under the config's precision policy (batches
         are cast to its real dtype and gradient buffers follow its
-        accumulation rule.
+        accumulation rule) and kernel backend (every quantum execution
+        dispatches through it).
         """
-        with use_precision(self.precision):
+        with use_precision(self.precision), self._backend_scope():
             return self._fit(train_data, test_data)
+
+    def _backend_scope(self):
+        """The config's backend scope — a no-op when it follows the policy."""
+        return nullcontext() if self.backend is None else use_backend(self.backend)
 
     def _fit(
         self,
@@ -114,6 +144,14 @@ class Trainer:
             shuffle=config.shuffle,
             seed=config.seed,
         )
+        # An empty loader used to surface as a bare ZeroDivisionError from
+        # the epoch-mean division below; fail up front with the cause.
+        if len(loader) == 0:
+            raise ValueError(
+                f"training loader yields no batches: dataset has "
+                f"{len(train_data)} sample(s) at batch_size="
+                f"{config.batch_size}"
+            )
         history = History()
         best_test = float("inf")
         epochs_since_best = 0
@@ -146,6 +184,8 @@ class Trainer:
                 record.test_loss = self.evaluate(test_data)
                 record.test_reconstruction = record.test_loss
             history.append(record)
+            if self.scheduler is not None:
+                self.scheduler.step()
             if (
                 config.early_stop_patience is not None
                 and record.test_loss is not None
@@ -161,9 +201,10 @@ class Trainer:
 
     def evaluate(self, data: ArrayDataset) -> float:
         """Mean reconstruction MSE over a dataset (no gradient tracking)."""
-        return evaluate_reconstruction(
-            self.model, data, self.config.batch_size, dtype=self.precision
-        )
+        with self._backend_scope():
+            return evaluate_reconstruction(
+                self.model, data, self.config.batch_size, dtype=self.precision
+            )
 
 
 def evaluate_reconstruction(
@@ -174,18 +215,28 @@ def evaluate_reconstruction(
     ``dtype`` casts each batch to the policy's real dtype before encoding
     (None follows the active policy); the squared error itself accumulates
     in float64 either way.
+
+    The model's mode is restored on exit: every submodule gets back the
+    ``training`` flag it entered with (an unconditional ``model.train()``
+    here used to clobber a caller's eval mode).
     """
+    if len(data) == 0:
+        raise ValueError("cannot evaluate reconstruction on an empty dataset")
     real = resolve_precision(dtype).real
+    prior_modes = [(module, module.training) for module in model.modules()]
     model.eval()
     total = 0.0
     count = 0
-    with no_grad():
-        for start in range(0, len(data), batch_size):
-            batch = data.features[start : start + batch_size]
-            recon = model.decode(model.encode(Tensor(batch, dtype=real)))
-            total += float(
-                ((recon.data.astype(np.float64) - batch) ** 2).sum()
-            )
-            count += batch.size
-    model.train()
+    try:
+        with no_grad():
+            for start in range(0, len(data), batch_size):
+                batch = data.features[start : start + batch_size]
+                recon = model.decode(model.encode(Tensor(batch, dtype=real)))
+                total += float(
+                    ((recon.data.astype(np.float64) - batch) ** 2).sum()
+                )
+                count += batch.size
+    finally:
+        for module, was_training in prior_modes:
+            module.training = was_training
     return total / count

@@ -1,0 +1,332 @@
+"""Unit tests for the pluggable kernel-backend layer.
+
+The differential suite (``test_differential.py``) proves both backends
+agree with the naive reference end to end; this file covers the machinery
+around them — the registry, the ``use_backend`` policy stack, layer/config
+knobs, and the threaded backend's sharding plumbing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    Circuit,
+    KernelBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    default_backend,
+    execute,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.quantum.backends import _kron_eye
+
+
+def _measured_circuit():
+    return (
+        Circuit(2).amplitude_embedding(4).strongly_entangling_layers(1)
+        .measure_expval()
+    )
+
+
+class TestRegistryAndPolicy:
+    def test_builtin_backends_registered(self):
+        assert "numpy" in available_backends()
+        assert "threaded" in available_backends()
+
+    def test_default_is_numpy(self):
+        assert isinstance(default_backend(), NumpyBackend)
+
+    def test_resolve_none_follows_active_policy(self):
+        assert resolve_backend(None) is default_backend()
+
+    def test_resolve_by_name_and_instance(self):
+        assert isinstance(resolve_backend("threaded"), ThreadedBackend)
+        mine = ThreadedBackend(max_workers=2)
+        assert resolve_backend(mine) is mine
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_use_backend_scopes_and_restores(self):
+        before = default_backend()
+        with use_backend("threaded") as active:
+            assert isinstance(active, ThreadedBackend)
+            assert default_backend() is active
+            with use_backend("numpy"):
+                assert isinstance(default_backend(), NumpyBackend)
+            assert default_backend() is active
+        assert default_backend() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = default_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("threaded"):
+                raise RuntimeError("boom")
+        assert default_backend() is before
+
+    def test_set_default_backend_roundtrip(self):
+        previous = set_default_backend("threaded")
+        try:
+            assert isinstance(default_backend(), ThreadedBackend)
+        finally:
+            set_default_backend(previous)
+        assert default_backend() is previous
+
+    def test_register_backend_requires_concrete_name(self):
+        with pytest.raises(ValueError, match="concrete name"):
+            register_backend(KernelBackend())
+
+    def test_register_custom_backend(self):
+        class Custom(NumpyBackend):
+            name = "custom-test"
+
+        register_backend(Custom())
+        assert "custom-test" in available_backends()
+        assert isinstance(resolve_backend("custom-test"), Custom)
+
+    def test_abstract_vocabulary_raises(self):
+        backend = KernelBackend()
+        state = np.zeros((1, 2), dtype=np.complex128)
+        for call in [
+            lambda: backend.apply_dense(state, None, 1, 1, 1, 2, 1, True),
+            lambda: backend.transition_matrix(state, state, 1, 1, 1, 2, 1,
+                                              True),
+            lambda: backend.diag_phase(state, state, 1, 1),
+            lambda: backend.crz_phase(state, [0], [1], None),
+            lambda: backend.diag_sign(state, [0]),
+            lambda: backend.gather(state, [1, 0]),
+            lambda: backend.probabilities(state),
+            lambda: backend.expvals(state, np.ones((1, 2))),
+            lambda: backend.row_norms(np.ones((1, 2))),
+        ]:
+            with pytest.raises(NotImplementedError):
+                call()
+
+
+class TestExecutionIntegration:
+    def test_execute_records_backend_in_cache(self):
+        circuit = _measured_circuit()
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 1.0, size=(3, 4))
+        backend = ThreadedBackend(max_workers=2, min_shard_elements=1)
+        __, cache = execute(circuit, inputs, weights, backend=backend)
+        assert cache.backend is backend
+
+    def test_quantum_layer_backend_knob(self):
+        from repro.nn import Tensor
+        from repro.qnn import QuantumLayer
+
+        layer = QuantumLayer(
+            _measured_circuit(),
+            rng=np.random.default_rng(0),
+            backend="threaded",
+        )
+        assert isinstance(layer.backend, ThreadedBackend)
+        out = layer(Tensor(np.random.default_rng(1).uniform(0.1, 1.0, (2, 4))))
+        assert out.shape == (2, 2)
+
+    def test_quantum_layer_defaults_to_active_policy(self):
+        from repro.nn import Tensor
+        from repro.qnn import QuantumLayer
+
+        layer = QuantumLayer(
+            _measured_circuit(), rng=np.random.default_rng(0)
+        )
+        assert layer.backend is None
+        x = Tensor(np.random.default_rng(1).uniform(0.1, 1.0, (2, 4)))
+        baseline = layer(x).data
+        with use_backend(ThreadedBackend(max_workers=2,
+                                         min_shard_elements=1)):
+            scoped = layer(x).data
+        np.testing.assert_allclose(scoped, baseline, atol=1e-12)
+
+    def test_patched_layer_backend_knob(self):
+        from repro.nn import Tensor
+        from repro.qnn import PatchedQuantumLayer
+
+        backend = ThreadedBackend(max_workers=2, min_shard_elements=1)
+        layer = PatchedQuantumLayer(
+            lambda i: _measured_circuit(),
+            n_patches=2,
+            rng=np.random.default_rng(0),
+            backend=backend,
+        )
+        assert layer.backend is backend
+        x = Tensor(
+            np.random.default_rng(1).uniform(0.1, 1.0, (4, 8)),
+            requires_grad=True,
+        )
+        out = layer(x)
+        out.sum().backward()
+        assert out.shape == (4, 4)
+        assert x.grad is not None
+
+    def test_train_config_backend_knob(self):
+        from repro.data.loader import ArrayDataset
+        from repro.models import ScalableQuantumAE
+        from repro.training import TrainConfig, Trainer
+
+        rng = np.random.default_rng(0)
+        model = ScalableQuantumAE(
+            input_dim=16, n_patches=2, n_layers=1, rng=rng
+        )
+        config = TrainConfig(epochs=1, batch_size=4, backend="threaded")
+        trainer = Trainer(model, config)
+        assert isinstance(trainer.backend, ThreadedBackend)
+        data = ArrayDataset(np.abs(rng.normal(size=(8, 16))) + 0.01)
+        history = trainer.fit(data)
+        assert len(history.epochs) == 1
+
+
+class TestThreadedSharding:
+    def test_shards_cover_range_without_overlap(self):
+        backend = ThreadedBackend(max_workers=4, min_shard_elements=1)
+        shards = backend._shards(10, 1000)
+        assert shards[0][0] == 0 and shards[-1][1] == 10
+        for (____, hi), (lo, __) in zip(shards, shards[1:]):
+            assert hi == lo
+        assert len(shards) == 4
+
+    def test_small_work_falls_through(self):
+        # Explicit floor (the CI threaded leg overrides the default to 1
+        # via REPRO_BACKEND_MIN_SHARD, so don't rely on it here).
+        backend = ThreadedBackend(max_workers=4, min_shard_elements=1 << 13)
+        assert backend._shards(2, 4) is None  # 8 elements: far below floor
+        assert backend._shards(1, 1 << 20) is None  # single unit
+
+    def test_single_worker_never_shards(self):
+        backend = ThreadedBackend(max_workers=1, min_shard_elements=1)
+        assert backend._shards(1024, 1024) is None
+
+    def test_pool_is_lazy_and_closable(self):
+        backend = ThreadedBackend(max_workers=2, min_shard_elements=1)
+        assert backend._pool is None
+        state = np.arange(8, dtype=np.complex128).reshape(4, 2)
+        out = backend.gather(state, np.array([1, 0]))
+        np.testing.assert_array_equal(out, state[:, [1, 0]])
+        assert backend._pool is not None
+        backend.close()
+        assert backend._pool is None
+        # reusable after close
+        out = backend.gather(state, np.array([1, 0]))
+        np.testing.assert_array_equal(out, state[:, [1, 0]])
+
+    def test_kron_eye_matches_numpy_kron(self):
+        rng = np.random.default_rng(3)
+        for right in (2, 4, 8):
+            mat = rng.normal(size=(3, 4, 4)) + 1j * rng.normal(size=(3, 4, 4))
+            expected = np.stack([np.kron(m, np.eye(right)) for m in mat])
+            np.testing.assert_allclose(_kron_eye(mat, right), expected)
+
+    def test_probabilities_sharded_matches(self):
+        backend = ThreadedBackend(max_workers=3, min_shard_elements=1)
+        rng = np.random.default_rng(4)
+        state = rng.normal(size=(7, 16)) + 1j * rng.normal(size=(7, 16))
+        np.testing.assert_allclose(
+            backend.probabilities(state), NumpyBackend().probabilities(state)
+        )
+
+    def test_workers_resolved_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_WORKERS", "5")
+        assert ThreadedBackend().max_workers == 5
+
+
+class TestTrainerBackendScope:
+    def test_trainer_respects_ambient_use_backend_scope(self):
+        # TrainConfig(backend=None) must follow the caller's scope, not
+        # pin the construction-time default over the fit loop.
+        from repro.data.loader import ArrayDataset
+        from repro.models import ScalableQuantumAE
+        from repro.training import TrainConfig, Trainer
+
+        seen = []
+
+        class Spy(NumpyBackend):
+            name = "spy"
+
+            def apply_dense(self, *args, **kwargs):
+                seen.append("apply_dense")
+                return super().apply_dense(*args, **kwargs)
+
+        rng = np.random.default_rng(0)
+        model = ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                                  rng=rng)
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=4))
+        assert trainer.backend is None
+        data = ArrayDataset(np.abs(rng.normal(size=(8, 16))) + 0.01)
+        with use_backend(Spy()):
+            trainer.fit(data)
+        assert seen  # the ambient backend actually served the kernels
+
+
+class TestThreadedEnvKnobs:
+    def test_min_shard_resolved_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_MIN_SHARD", "1")
+        assert ThreadedBackend(max_workers=2).min_shard_elements == 1
+        monkeypatch.delenv("REPRO_BACKEND_MIN_SHARD")
+        assert ThreadedBackend(max_workers=2).min_shard_elements == 1 << 13
+
+    def test_concurrent_lazy_pool_creation_is_single(self):
+        import threading
+
+        backend = ThreadedBackend(max_workers=2, min_shard_elements=1)
+        pools = []
+        gate = threading.Barrier(4)
+
+        def grab():
+            gate.wait()
+            pools.append(backend._executor())
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(p) for p in pools}) == 1
+        backend.close()
+
+    def test_diag_phase_shards_p1_broadcast(self):
+        # A weight-bound RZ on the compiled (p = 1) path binds (1, dim)
+        # phases against a (batch, dim) state; the threaded kernel must
+        # shard the row axis there too, not fall through single-threaded.
+        backend = ThreadedBackend(max_workers=3, min_shard_elements=1)
+        rng = np.random.default_rng(6)
+        state = rng.normal(size=(7, 8)) + 1j * rng.normal(size=(7, 8))
+        phases = np.exp(1j * rng.normal(size=(1, 8)))
+        expected = NumpyBackend().diag_phase(state, phases, 1, 7)
+        np.testing.assert_allclose(
+            backend.diag_phase(state, phases, 1, 7), expected
+        )
+        out = np.empty_like(state)
+        backend.diag_phase(state, phases, 1, 7, out=out)
+        np.testing.assert_allclose(out, expected)
+
+
+class TestNaiveReferenceIsBackendFree:
+    def test_naive_execute_ignores_active_backend(self):
+        # The naive interpreter is the parity reference; a (hypothetically
+        # broken) active backend must not contaminate it.
+        from repro.quantum import naive_execute
+
+        class Broken(NumpyBackend):
+            name = "broken-norms"
+
+            def row_norms(self, rows):
+                return super().row_norms(rows) * 2.0
+
+        circuit = _measured_circuit()
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(-np.pi, np.pi, circuit.n_weights)
+        inputs = rng.uniform(0.1, 1.0, size=(3, 4))
+        baseline, __ = naive_execute(circuit, inputs, weights,
+                                     want_cache=False)
+        with use_backend(Broken()):
+            scoped, __ = naive_execute(circuit, inputs, weights,
+                                       want_cache=False)
+        np.testing.assert_array_equal(scoped, baseline)

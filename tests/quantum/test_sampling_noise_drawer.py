@@ -314,3 +314,97 @@ class TestDrawerOnFusedPlans:
         art = draw(circuit)
         lines = art.splitlines()
         assert "RZ(w0)" in lines[0] and "RZ(w3)" in lines[1]
+
+
+class TestSamplingValidationAndVectorizedDraw:
+    """The inverse-CDF rewrite of sample_basis_states: clear zero-mass
+    errors, exactness on degenerate states, and statistical agreement."""
+
+    def test_zero_probability_state_raises_clear_error(self):
+        # An all-zero row used to divide to NaN and crash deep inside
+        # rng.choice ("probabilities contain NaN").
+        state = np.zeros((2, 4), dtype=np.complex128)
+        state[0, 1] = 1.0  # row 0 fine; row 1 has no amplitude mass
+        with pytest.raises(ValueError, match=r"\[1\].*zero or non-finite"):
+            sample_basis_states(state, 10, np.random.default_rng(0))
+
+    def test_all_rows_zero_names_every_row(self):
+        state = np.zeros((3, 4), dtype=np.complex128)
+        with pytest.raises(ValueError, match=r"\[0, 1, 2\]"):
+            sample_basis_states(state, 1, np.random.default_rng(0))
+
+    def test_deterministic_state_always_hits_its_basis_index(self):
+        state = np.zeros((2, 8), dtype=np.complex128)
+        state[0, 3] = 1.0
+        state[1, 5] = 1.0
+        samples = sample_basis_states(state, 64, np.random.default_rng(1))
+        assert (samples[0] == 3).all()
+        assert (samples[1] == 5).all()
+
+    def test_zero_probability_outcomes_never_drawn(self):
+        # Half the basis states have exactly zero probability; the
+        # searchsorted draw must never land on them (side='right' skips
+        # flat CDF segments).
+        state = np.zeros((1, 8), dtype=np.complex128)
+        state[0, [0, 2, 4, 6]] = 0.5
+        samples = sample_basis_states(state, 4000, np.random.default_rng(2))
+        assert set(np.unique(samples)) <= {0, 2, 4, 6}
+
+    def test_empirical_distribution_matches_probabilities(self):
+        rng = np.random.default_rng(3)
+        raw = rng.normal(size=(1, 16)) + 1j * rng.normal(size=(1, 16))
+        state = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+        shots = 200_000
+        samples = sample_basis_states(state, shots, np.random.default_rng(4))
+        counts = np.bincount(samples[0], minlength=16) / shots
+        probs = np.abs(state[0]) ** 2
+        np.testing.assert_allclose(counts, probs, atol=5e-3)
+
+    def test_batch_rows_sample_independently(self):
+        # Rows with disjoint supports must never leak into each other
+        # through the shared offset-CDF searchsorted.
+        state = np.zeros((2, 4), dtype=np.complex128)
+        state[0, [0, 1]] = np.sqrt(0.5)
+        state[1, [2, 3]] = np.sqrt(0.5)
+        samples = sample_basis_states(state, 500, np.random.default_rng(5))
+        assert set(np.unique(samples[0])) <= {0, 1}
+        assert set(np.unique(samples[1])) <= {2, 3}
+
+    def test_draw_at_float_boundary_stays_in_range(self):
+        # A uniform draw within half an ulp of 1.0 rounds up to exactly
+        # the next row's offset boundary (u + b == b + 1) in the flat CDF;
+        # unclamped, searchsorted then returned an out-of-range index
+        # (== dim) for every row past the first.  The clamp must resolve
+        # it to the row's last nonzero-probability state.
+        class BoundaryRng:
+            def random(self, shape):
+                return np.full(shape, np.nextafter(1.0, 0.0))
+
+        state = np.full((3, 4), 0.5, dtype=np.complex128)  # uniform probs
+        samples = sample_basis_states(state, 8, BoundaryRng())
+        assert samples.shape == (3, 8)
+        assert (samples == 3).all()  # last basis state, never dim
+
+    def test_draw_at_float_boundary_skips_zero_prob_tail(self):
+        class BoundaryRng:
+            def random(self, shape):
+                return np.full(shape, np.nextafter(1.0, 0.0))
+
+        state = np.zeros((2, 4), dtype=np.complex128)
+        state[:, [0, 1]] = np.sqrt(0.5)  # support only on indices 0-1
+        samples = sample_basis_states(state, 8, BoundaryRng())
+        assert (samples == 1).all()  # last *nonzero*-probability state
+
+    def test_nonfinite_probability_rows_rejected(self):
+        # A diverged (NaN-amplitude) state must fail loudly, not feed
+        # searchsorted an unsorted CDF and return garbage indices.
+        state = np.full((2, 4), np.nan + 0j)
+        state[0] = 0.5  # row 0 fine; row 1 NaN
+        with pytest.raises(ValueError, match=r"non-finite.*\[1\]|\[1\].*non-finite"):
+            sample_basis_states(state, 4, np.random.default_rng(0))
+
+    def test_infinite_probability_rows_rejected(self):
+        state = np.zeros((1, 4), dtype=np.complex128)
+        state[0, 0] = np.inf
+        with pytest.raises(ValueError, match="zero or non-finite"):
+            sample_basis_states(state, 4, np.random.default_rng(0))

@@ -116,3 +116,121 @@ class TestDatasetStatistics:
         stats = dataset_statistics(load_qm9(n_samples=8, seed=2))
         text = stats.format_table()
         assert "sparsity" in text and "atom C" in text
+
+
+class TestEvaluateModeRestore:
+    """evaluate_reconstruction must restore the caller's train/eval mode."""
+
+    def _model(self):
+        return ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                           rng=np.random.default_rng(0))
+
+    def test_restores_training_mode(self):
+        from repro.training.trainer import evaluate_reconstruction
+
+        model = self._model()
+        model.train()
+        evaluate_reconstruction(model, toy_data(n=8), batch_size=4)
+        assert all(m.training for m in model.modules())
+
+    def test_restores_eval_mode(self):
+        # The old behavior unconditionally called model.train() on exit,
+        # clobbering a caller that had put the model in eval mode.
+        from repro.training.trainer import evaluate_reconstruction
+
+        model = self._model()
+        model.eval()
+        evaluate_reconstruction(model, toy_data(n=8), batch_size=4)
+        assert not any(m.training for m in model.modules())
+
+    def test_restores_mixed_modes(self):
+        from repro.training.trainer import evaluate_reconstruction
+
+        model = self._model()
+        model.train()
+        model.encoder.eval()
+        before = [(m, m.training) for m in model.modules()]
+        evaluate_reconstruction(model, toy_data(n=8), batch_size=4)
+        assert all(m.training == flag for m, flag in before)
+
+    def test_restores_mode_when_forward_raises(self):
+        from repro.training.trainer import evaluate_reconstruction
+
+        model = self._model()
+        model.train()
+        bad = ArrayDataset(np.zeros((4, 7)))  # wrong feature width
+        with pytest.raises(Exception):
+            evaluate_reconstruction(model, bad, batch_size=4)
+        assert all(m.training for m in model.modules())
+
+    def test_empty_dataset_rejected(self):
+        from repro.training.trainer import evaluate_reconstruction
+
+        with pytest.raises(ValueError, match="empty dataset"):
+            evaluate_reconstruction(self._model(),
+                                    ArrayDataset(np.zeros((0, 16))))
+
+
+class TestEmptyLoaderValidation:
+    def test_empty_dataset_raises_clear_error(self):
+        # Used to surface as a bare ZeroDivisionError from the epoch-mean
+        # division at the end of the first epoch.
+        model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                            rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=8)
+        trainer = Trainer(model, config)
+        with pytest.raises(ValueError, match="no batches"):
+            trainer.fit(ArrayDataset(np.zeros((0, 16))))
+
+
+class TestSchedulerWiring:
+    def _fit(self, scheduler_factory, epochs=4):
+        data = toy_data(n=24)
+        model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                            rng=np.random.default_rng(0))
+        config = TrainConfig(
+            epochs=epochs, batch_size=8, quantum_lr=0.03, classical_lr=0.01,
+            scheduler=scheduler_factory,
+        )
+        trainer = Trainer(model, config)
+        trainer.fit(data)
+        return trainer
+
+    def test_scheduler_steps_once_per_epoch(self):
+        from repro.nn.schedulers import ExponentialLR
+
+        trainer = self._fit(lambda opt: ExponentialLR(opt, gamma=0.5),
+                            epochs=3)
+        assert trainer.scheduler.last_epoch == 3
+        for group, base in zip(trainer.optimizer.param_groups,
+                               trainer.scheduler.base_lrs):
+            assert group["lr"] == pytest.approx(base * 0.5**3)
+
+    def test_heterogeneous_ratio_preserved_across_decay(self):
+        # The paper's 0.03 / 0.01 quantum-vs-classical split must survive
+        # the schedule: both groups decay by the same factor each epoch.
+        from repro.models import ScalableQuantumAE
+        from repro.nn.schedulers import StepLR
+
+        rng = np.random.default_rng(0)
+        model = ScalableQuantumAE(input_dim=16, n_patches=2, n_layers=1,
+                                  rng=rng)
+        config = TrainConfig(
+            epochs=2, batch_size=4, quantum_lr=0.03, classical_lr=0.01,
+            scheduler=lambda opt: StepLR(opt, step_size=1, gamma=0.1),
+        )
+        trainer = Trainer(model, config)
+        groups = trainer.optimizer.param_groups
+        assert groups[0]["lr"] / groups[1]["lr"] == pytest.approx(3.0)
+        data = ArrayDataset(np.abs(rng.normal(size=(8, 16))) + 0.01)
+        trainer.fit(data)
+        lrs = trainer.scheduler.current_lrs()
+        assert lrs[0] == pytest.approx(0.03 * 0.01)  # two decade steps
+        assert lrs[1] == pytest.approx(0.01 * 0.01)
+        assert lrs[0] / lrs[1] == pytest.approx(3.0)
+
+    def test_no_scheduler_keeps_constant_lrs(self):
+        trainer = self._fit(None, epochs=2)
+        assert trainer.scheduler is None
+        lrs = [g["lr"] for g in trainer.optimizer.param_groups]
+        assert lrs == [0.01]  # classical-only model, untouched lr
