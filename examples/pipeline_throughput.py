@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Batched molecule scoring and constant-memory streaming, side by side.
+
+Scores the same noisy ligand stack three ways — the per-molecule reference
+loop, the batched pipeline, and the streaming shard scorer — prints the
+identical results with wall-clock timings, then demonstrates bulk
+fingerprinting with one Tanimoto GEMM against a reference pool.
+
+Run:
+    python examples/pipeline_throughput.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.chem import (
+    default_fragment_table,
+    morgan_fingerprints,
+    novelty,
+    score_matrices,
+    score_matrices_reference,
+    tanimoto_matrix,
+)
+from repro.chem.batch import MoleculeBatch, sanitize_batch
+from repro.data import iter_shards, load_pdbbind_ligands, score_matrix_stream
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<28} {elapsed * 1e3:8.1f} ms")
+    return result, elapsed
+
+
+def main() -> None:
+    n = 192
+    print(f"workload: {n} noisy 32x32 ligand matrices "
+          "(decode -> sanitize -> QED/logP/SA -> uniqueness)")
+    raw = load_pdbbind_ligands(n, seed=2019).raw.astype(np.float64)
+    stack = raw + np.random.default_rng(99).normal(0.0, 0.35, size=raw.shape)
+    table = default_fragment_table()
+
+    reference, ref_s = timed(
+        "per-molecule reference", lambda: score_matrices_reference(stack, table=table)
+    )
+    batched, batch_s = timed(
+        "batched pipeline", lambda: score_matrices(stack, table=table)
+    )
+    # The streaming scorer folds 64-molecule shards through the same batched
+    # substrate; peak memory is one shard, the result is identical.
+    streamed, _ = timed(
+        "streaming (64-mol shards)",
+        lambda: score_matrix_stream(iter_shards(iter(stack), 64), table=table),
+    )
+    assert batched == reference == streamed
+    print(f"  speedup {ref_s / batch_s:.1f}x; all three results identical:")
+    print(f"  validity {batched.validity:.2f}  QED {batched.qed:.3f}  "
+          f"logP {batched.logp:.3f}  SA {batched.sa:.3f}  "
+          f"unique {batched.uniqueness:.2f}")
+
+    print("\nbulk fingerprints + one Tanimoto GEMM:")
+    generated = [
+        m for m in sanitize_batch(MoleculeBatch.from_matrices(stack))
+        if m.num_atoms
+    ][:96]
+    reference_mols = MoleculeBatch.from_matrices(
+        load_pdbbind_ligands(96, seed=77).raw.astype(np.float64)
+    ).molecules
+    reference_fps = morgan_fingerprints(reference_mols)
+    gen_fps = morgan_fingerprints(generated)
+    similarity = tanimoto_matrix(gen_fps, reference_fps)
+    print(f"  {similarity.shape[0]}x{similarity.shape[1]} similarity matrix, "
+          f"max nearest-neighbor sim {similarity.max(axis=1).max():.2f}")
+    # Precomputed reference fingerprints make repeated novelty sweeps cheap.
+    print(f"  novelty vs reference pool: "
+          f"{novelty(generated, reference_fingerprints=reference_fps):.2f}")
+
+
+if __name__ == "__main__":
+    main()

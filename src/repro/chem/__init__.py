@@ -5,6 +5,16 @@ sanitization with lenient repair, SMILES I/O, and the three Table II
 property metrics: QED, Crippen logP, and the Ertl-style SA score.
 """
 
+from .batch import (
+    MoleculeBatch,
+    crippen_logp_batch,
+    descriptor_matrix_batch,
+    qed_batch,
+    sa_score_batch,
+    sanitize_batch,
+    unique_fraction,
+    valid_mask,
+)
 from .crippen import crippen_logp
 from .descriptors import (
     aromatic_ring_count,
@@ -18,9 +28,11 @@ from .descriptors import (
 from .fingerprints import (
     bulk_tanimoto,
     morgan_fingerprint,
+    morgan_fingerprints,
     nearest_neighbor_similarity,
     novelty,
     tanimoto,
+    tanimoto_matrix,
 )
 from .generation import MoleculeSpec, random_molecule, random_molecules
 from .lipinski import (
@@ -48,9 +60,13 @@ from .metrics import (
     LOGP_RANGE,
     MoleculeSetScores,
     normalized_logp,
+    normalized_logp_batch,
     normalized_sa,
+    normalized_sa_batch,
     score_matrices,
+    score_matrices_reference,
     score_molecules,
+    score_molecules_reference,
     uniqueness,
 )
 from .molecule import AROMATIC, Molecule
@@ -118,8 +134,22 @@ __all__ = [
     "passes_rule_of_five",
     "passes_veber",
     "morgan_fingerprint",
+    "morgan_fingerprints",
     "tanimoto",
     "bulk_tanimoto",
+    "tanimoto_matrix",
     "nearest_neighbor_similarity",
     "novelty",
+    "MoleculeBatch",
+    "qed_batch",
+    "crippen_logp_batch",
+    "sa_score_batch",
+    "descriptor_matrix_batch",
+    "sanitize_batch",
+    "valid_mask",
+    "unique_fraction",
+    "normalized_logp_batch",
+    "normalized_sa_batch",
+    "score_molecules_reference",
+    "score_matrices_reference",
 ]

@@ -4,9 +4,20 @@ Supports the novelty/similarity analyses of generated molecule sets: each
 atom environment (radius 0..r) hashes into a fixed-width bit vector, and
 Tanimoto similarity compares molecules the way RDKit's Morgan fingerprints
 would (same construction, our hash).
+
+Two tiers share one definition: :func:`morgan_fingerprint` /
+:func:`bulk_tanimoto` are the per-molecule reference, and
+:func:`morgan_fingerprints` / :func:`tanimoto_matrix` compute identical
+values set-at-a-time — one environment-shell pass per molecule (radius-r
+keys are shell-list prefixes) and one generated x reference bit-matrix
+GEMM.  ``nearest_neighbor_similarity`` / ``novelty`` run on the bulk tier
+and accept a precomputed reference fingerprint matrix so repeated calls
+stop re-fingerprinting the pool.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -15,9 +26,12 @@ from .sa import environment_key
 
 __all__ = [
     "morgan_fingerprint",
+    "morgan_fingerprints",
     "tanimoto",
     "bulk_tanimoto",
+    "tanimoto_matrix",
     "nearest_neighbor_similarity",
+    "nearest_neighbor_similarity_reference",
     "novelty",
 ]
 
@@ -44,6 +58,61 @@ def hash_to_bit(key: str, n_bits: int) -> int:
     return int.from_bytes(digest, "big") % n_bits
 
 
+# Environment keys repeat heavily across a molecule set (common functional
+# groups hash to the same strings); caching the digest is exact.
+_hash_to_bit_cached = lru_cache(maxsize=1 << 16)(hash_to_bit)
+
+
+def morgan_fingerprints(
+    molecules, n_bits: int = 1024, radius: int = 2
+) -> np.ndarray:
+    """Bulk fingerprinting: ``(n, n_bits)`` boolean matrix, one row per
+    molecule, each row bit-for-bit equal to :func:`morgan_fingerprint`.
+
+    One environment-shell BFS per atom covers all radii at once — the
+    radius-``r`` key is the ``r + 1``-shell prefix of the full shell list —
+    instead of the reference's per-radius re-walk, and hashed bit indices
+    are cached across the whole set.  Accepts a molecule list or a
+    :class:`repro.chem.batch.MoleculeBatch` (reusing its cached shell
+    entry strings, shared with the SA scorer).
+    """
+    from .batch import MoleculeBatch
+
+    if n_bits < 8:
+        raise ValueError("n_bits must be at least 8")
+    batch = (
+        molecules
+        if isinstance(molecules, MoleculeBatch)
+        else MoleculeBatch.from_molecules(list(molecules))
+    )
+    bits = np.zeros((len(batch), n_bits), dtype=bool)
+    for index in range(len(batch)):
+        row = bits[index]
+        for shells in batch.atom_shells(index, radius):
+            for r in range(radius + 1):
+                key = ";".join(shells[: r + 1])
+                row[_hash_to_bit_cached(key, n_bits)] = True
+    return bits
+
+
+def tanimoto_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs Tanimoto of two fingerprint matrices via bit-matrix GEMM.
+
+    ``out[i, j] == tanimoto(a[i], b[j])`` exactly: the float64 GEMM sums
+    0/1 products (integer-exact well below 2**53), and the final division
+    matches :func:`bulk_tanimoto`'s guarded ``where``.
+    """
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    a_f = a.astype(np.float64)
+    b_f = b.astype(np.float64)
+    intersections = a_f @ b_f.T
+    pop_a = a_f.sum(axis=1)
+    pop_b = b_f.sum(axis=1)
+    unions = pop_a[:, None] + pop_b[None, :] - intersections
+    return np.where(unions > 0, intersections / np.maximum(unions, 1), 0.0)
+
+
 def tanimoto(a: np.ndarray, b: np.ndarray) -> float:
     """Jaccard similarity of two binary fingerprints in [0, 1]."""
     a = np.asarray(a, dtype=bool)
@@ -64,9 +133,37 @@ def bulk_tanimoto(query: np.ndarray, pool: np.ndarray) -> np.ndarray:
 
 
 def nearest_neighbor_similarity(
+    generated: list[Molecule],
+    reference: list[Molecule] | None = None,
+    n_bits: int = 1024,
+    reference_fingerprints: np.ndarray | None = None,
+) -> np.ndarray:
+    """For each generated molecule, its max Tanimoto to the reference set.
+
+    Computed as one generated x reference :func:`tanimoto_matrix` row-max
+    instead of the reference implementation's per-molecule
+    ``bulk_tanimoto`` loop.  Pass ``reference_fingerprints`` (a
+    ``morgan_fingerprints`` matrix) to skip re-fingerprinting the pool
+    across repeated calls.
+    """
+    if reference_fingerprints is None:
+        if not reference:
+            raise ValueError("reference set must be non-empty")
+        reference_fingerprints = morgan_fingerprints(reference, n_bits)
+    elif len(reference_fingerprints) == 0:
+        raise ValueError("reference set must be non-empty")
+    fps = morgan_fingerprints(generated, n_bits)
+    if len(fps) == 0:
+        return np.zeros(0, dtype=np.float64)
+    # A zero-atom molecule's all-false row yields 0.0 everywhere, matching
+    # the reference's explicit zero — no special case needed.
+    return tanimoto_matrix(fps, reference_fingerprints).max(axis=1)
+
+
+def nearest_neighbor_similarity_reference(
     generated: list[Molecule], reference: list[Molecule], n_bits: int = 1024
 ) -> np.ndarray:
-    """For each generated molecule, its max Tanimoto to the reference set."""
+    """Per-molecule reference path kept for equivalence tests and benches."""
     if not reference:
         raise ValueError("reference set must be non-empty")
     pool = np.stack([morgan_fingerprint(m, n_bits) for m in reference])
@@ -82,17 +179,23 @@ def nearest_neighbor_similarity(
 
 def novelty(
     generated: list[Molecule],
-    reference: list[Molecule],
+    reference: list[Molecule] | None = None,
     threshold: float = 1.0,
     n_bits: int = 1024,
+    reference_fingerprints: np.ndarray | None = None,
 ) -> float:
     """Fraction of generated molecules not (near-)duplicating the reference.
 
     With the default ``threshold=1.0`` a molecule only counts as known when
     some reference fingerprint matches exactly; lower thresholds treat
-    close analogues as known too (MolGAN-style novelty).
+    close analogues as known too (MolGAN-style novelty).  Like
+    :func:`nearest_neighbor_similarity`, accepts a precomputed
+    ``reference_fingerprints`` matrix.
     """
     if not generated:
         return 0.0
-    similarity = nearest_neighbor_similarity(generated, reference, n_bits)
+    similarity = nearest_neighbor_similarity(
+        generated, reference, n_bits,
+        reference_fingerprints=reference_fingerprints,
+    )
     return float((similarity < threshold).mean())

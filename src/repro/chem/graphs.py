@@ -1,0 +1,165 @@
+"""Fast exact graph primitives for the batched scoring path.
+
+The scalar chem metrics lean on :mod:`networkx` (``connected_components``,
+``bridges``) and recompute ring perception several times per molecule.  The
+batched pipeline in :mod:`repro.chem.batch` instead computes each graph
+quantity **once** per molecule with the dependency-free routines here and
+shares the results across every scorer.
+
+Exactness contract: these functions return the *same values* as the
+networkx-backed :class:`~repro.chem.molecule.Molecule` methods —
+
+* :func:`connected_components` returns the same family of atom sets
+  (component order is irrelevant to every consumer);
+* :func:`bridges` returns the same edge set as ``nx.bridges`` (used for
+  membership tests only);
+* :func:`ring_bonds` rebuilds the set with the same element insertion
+  order as ``Molecule.ring_bonds`` (a comprehension over the bond dict),
+  so downstream *set iteration order* — which ring perception's
+  tie-breaking observes — is identical;
+* :func:`rings` re-runs ``Molecule.rings``'s exact algorithm against the
+  cached ``ring_bonds``/component count instead of recomputing them.
+
+Keeping iteration orders aligned is what makes the batched scorers
+bit-for-bit equal to the scalar reference even for descriptors that depend
+on which cycle basis the greedy ring perception picks.
+"""
+
+from __future__ import annotations
+
+from .molecule import Molecule
+
+__all__ = [
+    "connected_components",
+    "bridges",
+    "ring_bonds",
+    "rings",
+]
+
+
+def connected_components(mol: Molecule) -> list[set[int]]:
+    """Connected atom sets via union-find (same sets as the networkx path)."""
+    n = mol.num_atoms
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for (i, j) in mol._bonds:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    groups: dict[int, set[int]] = {}
+    for atom in range(n):
+        groups.setdefault(find(atom), set()).add(atom)
+    return list(groups.values())
+
+
+def bridges(mol: Molecule) -> set[tuple[int, int]]:
+    """All bridge edges as ``(min, max)`` tuples (iterative Tarjan DFS).
+
+    An edge is a bridge iff no back-edge spans it; equality with
+    ``nx.bridges`` follows because the bridge set of a graph is unique.
+    Parallel edges cannot occur (``Molecule`` stores one order per pair).
+    """
+    n = mol.num_atoms
+    adjacency = mol._adjacency
+    disc = [-1] * n  # discovery times
+    low = [0] * n
+    out: set[tuple[int, int]] = set()
+    time = 0
+    for start in range(n):
+        if disc[start] != -1:
+            continue
+        # Stack frames: (node, parent, iterator over neighbors).
+        stack = [(start, -1, iter(adjacency[start]))]
+        disc[start] = low[start] = time
+        time += 1
+        while stack:
+            node, parent, neighbors = stack[-1]
+            advanced = False
+            for nbr in neighbors:
+                if disc[nbr] == -1:
+                    disc[nbr] = low[nbr] = time
+                    time += 1
+                    stack.append((nbr, node, iter(adjacency[nbr])))
+                    advanced = True
+                    break
+                if nbr != parent:
+                    low[node] = min(low[node], disc[nbr])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                parent_node = stack[-1][0]
+                low[parent_node] = min(low[parent_node], low[node])
+                if low[node] > disc[parent_node]:
+                    out.add((min(parent_node, node), max(parent_node, node)))
+    return out
+
+
+def ring_bonds(mol: Molecule, bridge_set: set[tuple[int, int]] | None = None
+               ) -> set[tuple[int, int]]:
+    """Bonds on at least one cycle: the molecule's bonds minus its bridges.
+
+    Built exactly like ``Molecule.ring_bonds`` — a set comprehension over
+    the bond dict — so the resulting set's internal layout (and therefore
+    iteration order) matches the scalar path's, which ring perception's
+    candidate ordering depends on.
+    """
+    if bridge_set is None:
+        bridge_set = bridges(mol)
+    return {key for key in mol._bonds if key not in bridge_set}
+
+
+def rings(
+    mol: Molecule,
+    ring_bond_set: set[tuple[int, int]],
+    n_components: int,
+) -> list[list[int]]:
+    """``Molecule.rings()`` with its two graph sweeps supplied from cache.
+
+    This is the exact algorithm from :meth:`Molecule.rings` — smallest
+    cycle through every ring bond, then a greedy GF(2)-independent basis —
+    with ``ring_bonds()`` and ``connected_components()`` replaced by the
+    precomputed arguments.  BFS tie-breaking goes through the molecule's
+    own adjacency sets, so the returned cycles are identical to the
+    scalar path's.
+    """
+    target = mol.num_bonds - mol.num_atoms + n_components
+    if target <= 0:
+        return []
+    candidates: dict[frozenset, list[int]] = {}
+    for u, v in ring_bond_set:
+        path = mol._shortest_path_avoiding_edge(u, v)
+        if path is None:  # pragma: no cover - ring bonds always close
+            continue
+        edges = frozenset(
+            (min(a, b), max(a, b)) for a, b in zip(path, path[1:] + path[:1])
+        )
+        if edges not in candidates:
+            candidates[edges] = path
+    ordered = sorted(candidates.values(), key=len)
+    edge_index = {key: i for i, key in enumerate(mol._bonds)}
+    pivots: dict[int, int] = {}
+    chosen: list[list[int]] = []
+    for cycle in ordered:
+        vec = 0
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            vec |= 1 << edge_index[(min(a, b), max(a, b))]
+        while vec:
+            high = vec.bit_length() - 1
+            if high not in pivots:
+                pivots[high] = vec
+                chosen.append(cycle)
+                break
+            vec ^= pivots[high]
+        if len(chosen) == target:
+            break
+    return chosen

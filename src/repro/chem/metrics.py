@@ -20,20 +20,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .batch import (
+    MoleculeBatch,
+    crippen_logp_batch,
+    qed_batch,
+    sa_score_batch,
+    sanitize_batch,
+    unique_fraction,
+    valid_mask,
+)
 from .crippen import crippen_logp
 from .matrix import decode_molecule, discretize
 from .molecule import Molecule
 from .qed import qed
 from .sa import FragmentTable, sa_score
+from .scaffold import canonical_signature
 from .valence import is_valid, sanitize_lenient
 
 __all__ = [
     "LOGP_RANGE",
     "normalized_logp",
     "normalized_sa",
+    "normalized_logp_batch",
+    "normalized_sa_batch",
     "MoleculeSetScores",
     "score_molecules",
+    "score_molecules_reference",
     "score_matrices",
+    "score_matrices_reference",
     "uniqueness",
 ]
 
@@ -49,6 +63,19 @@ def normalized_logp(mol: Molecule) -> float:
 def normalized_sa(mol: Molecule, table: FragmentTable | None = None) -> float:
     """(10 - SA)/9 in [0, 1]; higher = more synthesizable."""
     return float(np.clip((10.0 - sa_score(mol, table)) / 9.0, 0.0, 1.0))
+
+
+def normalized_logp_batch(molecules) -> np.ndarray:
+    """:func:`normalized_logp` over a set (same clip arithmetic, batched)."""
+    low, high = LOGP_RANGE
+    return np.clip((crippen_logp_batch(molecules) - low) / (high - low),
+                   0.0, 1.0)
+
+
+def normalized_sa_batch(molecules, table: FragmentTable | None = None
+                        ) -> np.ndarray:
+    """:func:`normalized_sa` over a set (same clip arithmetic, batched)."""
+    return np.clip((10.0 - sa_score_batch(molecules, table)) / 9.0, 0.0, 1.0)
 
 
 @dataclass
@@ -74,7 +101,7 @@ class MoleculeSetScores:
 
 
 def score_molecules(
-    molecules: list[Molecule],
+    molecules: list[Molecule] | MoleculeBatch,
     table: FragmentTable | None = None,
     correct: bool = True,
 ) -> MoleculeSetScores:
@@ -84,15 +111,69 @@ def score_molecules(
     lenient sanitization first and empty repairs are skipped; strict
     validity is still reported.  With ``correct=False`` only strictly valid
     molecules are scored.
+
+    Runs on the batched substrate (:mod:`repro.chem.batch`): validity is
+    computed in one vectorized pass and reused for both the reported
+    fraction and the sanitize/score filter, and the scorers share one set
+    of packed arrays and per-molecule graph contexts.  Results are
+    bit-for-bit equal to :func:`score_molecules_reference`.  Accepts a
+    pre-packed :class:`MoleculeBatch` to avoid re-packing.
+    """
+    batch = (
+        molecules
+        if isinstance(molecules, MoleculeBatch)
+        else MoleculeBatch.from_molecules(list(molecules))
+    )
+    n_total = len(batch)
+    validity = valid_mask(batch)
+    strictly_valid = int(validity.sum())
+    if correct:
+        scored = [m for m in sanitize_batch(batch, validity) if m.num_atoms]
+    else:
+        # is_valid implies non-empty, so the validity pass is the filter.
+        scored = [
+            m for m, ok in zip(batch.molecules, validity.tolist()) if ok
+        ]
+
+    if not scored:
+        return MoleculeSetScores(n_total, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    scored_batch = MoleculeBatch.from_molecules(scored)
+    qed_values = qed_batch(scored_batch)
+    logp_values = normalized_logp_batch(scored_batch)
+    sa_values = normalized_sa_batch(scored_batch, table)
+    return MoleculeSetScores(
+        n_total=n_total,
+        n_scored=len(scored),
+        validity=strictly_valid / n_total if n_total else 0.0,
+        qed=float(np.mean(qed_values)),
+        logp=float(np.mean(logp_values)),
+        sa=float(np.mean(sa_values)),
+        uniqueness=unique_fraction(scored_batch),
+    )
+
+
+def score_molecules_reference(
+    molecules: list[Molecule],
+    table: FragmentTable | None = None,
+    correct: bool = True,
+) -> MoleculeSetScores:
+    """Per-molecule reference implementation of :func:`score_molecules`.
+
+    Kept as the bit-for-bit oracle for the batched path (differential
+    tests, pipeline benchmarks).  Validity is evaluated once per molecule
+    and reused for both the reported fraction and the ``correct=False``
+    filter.
     """
     n_total = len(molecules)
-    strictly_valid = sum(1 for m in molecules if is_valid(m))
+    validity = [is_valid(m) for m in molecules]
+    strictly_valid = sum(validity)
     scored: list[Molecule] = []
-    for mol in molecules:
+    for mol, valid in zip(molecules, validity):
         candidate = sanitize_lenient(mol) if correct else mol
         if candidate.num_atoms == 0:
             continue
-        if not correct and not is_valid(candidate):
+        if not correct and not valid:
             continue
         scored.append(candidate)
 
@@ -118,17 +199,37 @@ def score_matrices(
     table: FragmentTable | None = None,
     correct: bool = True,
 ) -> MoleculeSetScores:
-    """Decode a stack of (possibly continuous) matrices and score the set."""
+    """Decode a stack of (possibly continuous) matrices and score the set.
+
+    The whole stack is discretized and decoded in one vectorized pass
+    (:meth:`MoleculeBatch.from_matrices`) and scored on the batched
+    substrate; equal to :func:`score_matrices_reference` bit for bit.
+    """
+    return score_molecules(
+        MoleculeBatch.from_matrices(np.asarray(matrices)),
+        table=table, correct=correct,
+    )
+
+
+def score_matrices_reference(
+    matrices: np.ndarray,
+    table: FragmentTable | None = None,
+    correct: bool = True,
+) -> MoleculeSetScores:
+    """Per-matrix reference path: loop ``decode_molecule(discretize(...))``."""
     molecules = [
         decode_molecule(discretize(matrix)) for matrix in np.asarray(matrices)
     ]
-    return score_molecules(molecules, table=table, correct=correct)
+    return score_molecules_reference(molecules, table=table, correct=correct)
 
 
 def uniqueness(molecules: list[Molecule]) -> float:
-    """Fraction of distinct molecules (by canonical graph signature)."""
-    from .scaffold import canonical_signature
+    """Fraction of distinct molecules (by canonical graph signature).
 
+    Per-molecule reference; :func:`repro.chem.batch.unique_fraction`
+    computes the same value with signature hashing only inside
+    cheap-invariant collision groups.
+    """
     if not molecules:
         return 0.0
     keys = {canonical_signature(m) for m in molecules}

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from functools import lru_cache
 
+import numpy as np
+
 from .generation import MoleculeSpec, random_molecules
 from .molecule import Molecule
 
@@ -91,6 +93,22 @@ class FragmentTable:
 
     def contribution(self, key: str) -> float:
         return self._log_counts.get(key, self._floor) - self._center
+
+    def bulk_contributions(self, keys: list[str]) -> np.ndarray:
+        """Vectorized table lookup: ``contribution`` for every key at once.
+
+        Each element equals ``self.contribution(key)`` exactly (same dict
+        lookup and subtraction); the batched SA scorer feeds one combined
+        environment-key pass through this instead of per-atom calls.
+        """
+        log_counts = self._log_counts
+        floor = self._floor
+        center = self._center
+        return np.fromiter(
+            (log_counts.get(key, floor) - center for key in keys),
+            dtype=np.float64,
+            count=len(keys),
+        )
 
     def fragment_score(self, mol: Molecule) -> float:
         """Mean environment contribution over the molecule's atoms."""

@@ -20,8 +20,9 @@ import sys
 
 import numpy as np
 
-from .chem import qed, sanitize_lenient, to_smiles
-from .chem.metrics import normalized_logp, normalized_sa
+from .chem import to_smiles
+from .chem.batch import MoleculeBatch, qed_batch, sanitize_batch
+from .chem.metrics import normalized_logp_batch, normalized_sa_batch
 from .chem.sa import default_fragment_table
 from .data import (
     dataset_statistics,
@@ -31,7 +32,7 @@ from .data import (
     load_qm9,
     train_test_split,
 )
-from .evaluation.sampling import sample_molecules
+from .evaluation.sampling import sample_batch
 from .models import (
     ClassicalAE,
     ClassicalVAE,
@@ -147,6 +148,8 @@ def _cmd_sample(args) -> int:
     path = Path(args.checkpoint)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise SystemExit(f"checkpoint not found: {path}")
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["__repro_meta__"]).decode("utf-8"))
     model = _build_model(meta["model"], meta["input_dim"], meta["n_patches"],
@@ -158,21 +161,22 @@ def _cmd_sample(args) -> int:
             "(Section I of the paper)"
         )
 
-    molecules = sample_molecules(model, args.count,
-                                 np.random.default_rng(args.seed))
+    # Decode, repair, and score the whole sample set on the batched
+    # substrate (values identical to the per-molecule scorers).
+    batch = sample_batch(model, args.count, np.random.default_rng(args.seed))
+    kept = [m for m in sanitize_batch(batch) if m.num_atoms]
+    kept_batch = MoleculeBatch.from_molecules(kept)
     table = default_fragment_table()
+    qed_values = qed_batch(kept_batch)
+    logp_values = normalized_logp_batch(kept_batch)
+    sa_values = normalized_sa_batch(kept_batch, table)
     print(f"{'QED':>6} {'logP':>6} {'SA':>6}  molecule")
-    printed = 0
-    for mol in molecules:
-        repaired = sanitize_lenient(mol)
-        if repaired.num_atoms == 0:
-            continue
+    for index, repaired in enumerate(kept):
         smiles = (to_smiles(repaired) if repaired.is_connected()
                   else repaired.molecular_formula())
-        print(f"{qed(repaired):6.3f} {normalized_logp(repaired):6.3f} "
-              f"{normalized_sa(repaired, table):6.3f}  {smiles[:60]}")
-        printed += 1
-    print(f"\n{printed}/{args.count} samples decoded to usable molecules")
+        print(f"{qed_values[index]:6.3f} {logp_values[index]:6.3f} "
+              f"{sa_values[index]:6.3f}  {smiles[:60]}")
+    print(f"\n{len(kept)}/{args.count} samples decoded to usable molecules")
     return 0
 
 

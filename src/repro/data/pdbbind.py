@@ -26,6 +26,7 @@ __all__ = [
     "PDBBIND_FILTERED_COUNT",
     "pdbbind_spec",
     "ligand_passes_filter",
+    "iter_pdbbind_matrices",
     "load_pdbbind_ligands",
 ]
 
@@ -56,6 +57,42 @@ def ligand_passes_filter(mol: Molecule) -> bool:
     return all(symbol in ATOM_CODES for symbol in mol.symbols)
 
 
+def iter_pdbbind_matrices(
+    n_samples: int = PDBBIND_FILTERED_COUNT,
+    seed: int = 2019,
+    pool_size: int | None = None,
+):
+    """Yield filtered ligand matrices one at a time (single sequential rng).
+
+    The generate-and-filter loop consumes one rng stream in attempt order,
+    so shard-wise grouping of this iterator concatenates to exactly the
+    matrices :func:`load_pdbbind_ligands` materializes.  Raises
+    ``RuntimeError`` after exhausting the attempt budget with fewer than
+    ``n_samples`` survivors (after yielding those it found).
+    """
+    rng = np.random.default_rng(seed)
+    spec = pdbbind_spec()
+    if pool_size is None:
+        pool_size = max(
+            n_samples + 8,
+            int(np.ceil(n_samples * PDBBIND_REFINED_COUNT / PDBBIND_FILTERED_COUNT)),
+        )
+    kept = 0
+    attempts = 0
+    max_attempts = pool_size * 4
+    while kept < n_samples and attempts < max_attempts:
+        mol = random_molecule(rng, spec)
+        attempts += 1
+        if ligand_passes_filter(mol):
+            kept += 1
+            yield encode_molecule(mol, PDBBIND_MATRIX_SIZE)
+    if kept < n_samples:
+        raise RuntimeError(
+            f"filter accepted only {kept} of {attempts} ligands; "
+            "loosen the spec or lower n_samples"
+        )
+
+
 def load_pdbbind_ligands(
     n_samples: int = PDBBIND_FILTERED_COUNT,
     seed: int = 2019,
@@ -74,27 +111,6 @@ def load_pdbbind_ligands(
     """
     if n_samples < 1:
         raise ValueError("n_samples must be positive")
-    rng = np.random.default_rng(seed)
-    spec = pdbbind_spec()
-    if pool_size is None:
-        pool_size = max(
-            n_samples + 8,
-            int(np.ceil(n_samples * PDBBIND_REFINED_COUNT / PDBBIND_FILTERED_COUNT)),
-        )
-
-    kept: list[np.ndarray] = []
-    attempts = 0
-    max_attempts = pool_size * 4
-    while len(kept) < n_samples and attempts < max_attempts:
-        mol = random_molecule(rng, spec)
-        attempts += 1
-        if ligand_passes_filter(mol):
-            kept.append(encode_molecule(mol, PDBBIND_MATRIX_SIZE))
-    if len(kept) < n_samples:
-        raise RuntimeError(
-            f"filter accepted only {len(kept)} of {attempts} ligands; "
-            "loosen the spec or lower n_samples"
-        )
-    matrices = np.stack(kept[:n_samples])
+    matrices = np.stack(list(iter_pdbbind_matrices(n_samples, seed, pool_size)))
     features = matrices.reshape(n_samples, -1).astype(np.float64)
     return ArrayDataset(features, raw=matrices, name="pdbbind")

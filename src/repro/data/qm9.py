@@ -15,7 +15,7 @@ from ..chem.generation import MoleculeSpec, random_molecule
 from ..chem.matrix import encode_molecule
 from .loader import ArrayDataset
 
-__all__ = ["QM9_MATRIX_SIZE", "qm9_spec", "load_qm9"]
+__all__ = ["QM9_MATRIX_SIZE", "qm9_spec", "iter_qm9_matrices", "load_qm9"]
 
 QM9_MATRIX_SIZE = 8
 
@@ -34,15 +34,26 @@ def qm9_spec() -> MoleculeSpec:
     )
 
 
+def iter_qm9_matrices(n_samples: int, seed: int = 2022):
+    """Yield the QM9-like matrices one at a time (single sequential rng).
+
+    Generation consumes one rng stream in sample order, so any shard-wise
+    grouping of this iterator concatenates to exactly the matrices
+    :func:`load_qm9` materializes — the invariant the streaming loaders in
+    :mod:`repro.data.streaming` rely on.
+    """
+    rng = np.random.default_rng(seed)
+    spec = qm9_spec()
+    for _ in range(n_samples):
+        yield encode_molecule(random_molecule(rng, spec), QM9_MATRIX_SIZE)
+
+
 def load_qm9(n_samples: int = 1024, seed: int = 2022) -> ArrayDataset:
     """Generate the dataset: features ``(n, 64)`` float, raw ``(n, 8, 8)`` int."""
     if n_samples < 1:
         raise ValueError("n_samples must be positive")
-    rng = np.random.default_rng(seed)
-    spec = qm9_spec()
     matrices = np.empty((n_samples, QM9_MATRIX_SIZE, QM9_MATRIX_SIZE), dtype=np.int64)
-    for index in range(n_samples):
-        mol = random_molecule(rng, spec)
-        matrices[index] = encode_molecule(mol, QM9_MATRIX_SIZE)
+    for index, matrix in enumerate(iter_qm9_matrices(n_samples, seed)):
+        matrices[index] = matrix
     features = matrices.reshape(n_samples, -1).astype(np.float64)
     return ArrayDataset(features, raw=matrices, name="qm9")

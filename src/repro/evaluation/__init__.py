@@ -13,18 +13,26 @@ from .latent import (
     latent_neighborhood,
 )
 from .reconstruction import (
+    molecule_reconstruction_report,
     per_sample_mse,
     reconstruct_samples,
     reconstruction_report,
 )
-from .sampling import sample_and_score, sample_matrices, sample_molecules
+from .sampling import (
+    sample_and_score,
+    sample_batch,
+    sample_matrices,
+    sample_molecules,
+)
 from .visualize import ascii_image, render_molecule_matrix, side_by_side
 
 __all__ = [
     "per_sample_mse",
     "reconstruct_samples",
     "reconstruction_report",
+    "molecule_reconstruction_report",
     "sample_matrices",
+    "sample_batch",
     "sample_molecules",
     "sample_and_score",
     "ascii_image",

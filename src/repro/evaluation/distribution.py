@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import stats
 
+from ..chem.batch import descriptor_matrix_batch
 from ..chem.crippen import crippen_logp
 from ..chem.descriptors import (
     aromatic_ring_count,
@@ -26,7 +27,12 @@ from ..chem.descriptors import (
 from ..chem.molecule import Molecule
 from ..chem.qed import qed
 
-__all__ = ["DescriptorDistributions", "descriptor_matrix", "distribution_report"]
+__all__ = [
+    "DescriptorDistributions",
+    "descriptor_matrix",
+    "descriptor_matrix_reference",
+    "distribution_report",
+]
 
 DESCRIPTOR_NAMES = (
     "heavy_atoms",
@@ -41,8 +47,19 @@ DESCRIPTOR_NAMES = (
 )
 
 
-def descriptor_matrix(molecules: list[Molecule]) -> np.ndarray:
-    """Descriptor vectors, shape ``(n_molecules, len(DESCRIPTOR_NAMES))``."""
+def descriptor_matrix(molecules) -> np.ndarray:
+    """Descriptor vectors, shape ``(n_molecules, len(DESCRIPTOR_NAMES))``.
+
+    Computed on the batched substrate (one packed-array pass plus one
+    cached graph context per molecule); bit-for-bit equal to
+    :func:`descriptor_matrix_reference`.  Accepts a molecule list or a
+    :class:`repro.chem.batch.MoleculeBatch`.
+    """
+    return descriptor_matrix_batch(molecules)
+
+
+def descriptor_matrix_reference(molecules: list[Molecule]) -> np.ndarray:
+    """Per-molecule reference implementation (the bit-for-bit oracle)."""
     rows = []
     for mol in molecules:
         rows.append(

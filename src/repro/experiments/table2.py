@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..chem.metrics import score_matrices
 from ..chem.sa import default_fragment_table
 from ..data import load_pdbbind_ligands, train_test_split
-from ..evaluation.sampling import sample_and_score
+from ..evaluation.sampling import sample_matrices
 from ..models import ClassicalVAE, ScalableQuantumVAE
 from ..training import TrainConfig, Trainer
 from .config import Scale, get_scale
@@ -139,11 +140,13 @@ def run_table2(config: Table2Config | None = None) -> Table2Result:
             train_config.batch_size = config.batch_size
             Trainer(model, train_config).fit(train)
             name_offset = sum(map(ord, name))  # deterministic, unlike hash()
-            scores = sample_and_score(
+            # Sample the prior as one matrix stack and score it through the
+            # batched decode -> sanitize -> score pipeline.
+            matrices = sample_matrices(
                 model, config.n_samples,
                 np.random.default_rng(config.seed + lsd + name_offset),
-                table=table,
             )
+            scores = score_matrices(matrices, table=table)
             result.cells.append(
                 Table2Cell(
                     model=name,

@@ -1,0 +1,72 @@
+"""Streaming shard loaders: shard boundaries must never change the data."""
+
+import numpy as np
+import pytest
+
+from repro.chem.metrics import score_matrices
+from repro.data import (
+    iter_shards,
+    load_pdbbind_ligands,
+    load_qm9,
+    score_matrix_stream,
+    stream_pdbbind_ligands,
+    stream_qm9,
+)
+
+
+class TestIterShards:
+    def test_shard_shapes_and_concatenation(self):
+        matrices = [np.full((4, 4), i, dtype=np.float64) for i in range(10)]
+        shards = list(iter_shards(iter(matrices), shard_size=4))
+        assert [s.shape[0] for s in shards] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(shards), np.stack(matrices))
+
+    def test_exact_multiple_has_no_short_shard(self):
+        matrices = [np.zeros((2, 2)) for _ in range(6)]
+        assert [s.shape[0] for s in iter_shards(iter(matrices), 3)] == [3, 3]
+
+    def test_rejects_nonpositive_shard_size(self):
+        with pytest.raises(ValueError):
+            list(iter_shards(iter([]), shard_size=0))
+
+    def test_empty_source_yields_nothing(self):
+        assert list(iter_shards(iter([]), shard_size=8)) == []
+
+
+class TestStreamLoaders:
+    def test_qm9_stream_equals_full_load(self):
+        full = load_qm9(96, seed=2022).raw
+        shards = list(stream_qm9(96, seed=2022, shard_size=40))
+        assert [s.shape[0] for s in shards] == [40, 40, 16]
+        assert np.array_equal(np.concatenate(shards), full)
+
+    def test_pdbbind_stream_equals_full_load(self):
+        full = load_pdbbind_ligands(48, seed=2019).raw
+        shards = list(stream_pdbbind_ligands(48, seed=2019, shard_size=13))
+        assert np.array_equal(np.concatenate(shards), full)
+
+    def test_rejects_nonpositive_n_samples(self):
+        with pytest.raises(ValueError):
+            stream_qm9(0)
+        with pytest.raises(ValueError):
+            stream_pdbbind_ligands(0)
+
+
+class TestScoreMatrixStream:
+    def test_equals_in_memory_scoring(self):
+        raw = load_pdbbind_ligands(40, seed=2019).raw.astype(np.float64)
+        rng = np.random.default_rng(7)
+        stack = raw + rng.normal(0.0, 0.4, size=raw.shape)
+        for correct in (True, False):
+            expected = score_matrices(stack, correct=correct)
+            for shard_size in (7, 16, 64):
+                got = score_matrix_stream(
+                    iter_shards(iter(stack), shard_size), correct=correct
+                )
+                assert got == expected
+
+    def test_empty_stream(self):
+        scores = score_matrix_stream(iter([]))
+        assert scores.n_total == 0
+        assert scores.n_scored == 0
+        assert scores.qed == 0.0

@@ -69,6 +69,23 @@ class TestSample:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_missing_checkpoint_names_resolved_path(self, tmp_path):
+        missing = tmp_path / "nope.npz"
+        with pytest.raises(SystemExit, match=f"checkpoint not found: {missing}"):
+            main(["sample", "--checkpoint", str(missing)])
+
+    def test_missing_checkpoint_bare_name_resolves_npz(self, tmp_path):
+        # A bare name falls back to the .npz-suffixed form; the error must
+        # name the path that was actually probed.
+        bare = tmp_path / "nope"
+        with pytest.raises(SystemExit, match=f"checkpoint not found: {bare}.npz"):
+            main(["sample", "--checkpoint", str(bare)])
+
+    def test_bare_checkpoint_name_loads_npz_file(self, checkpoint, capsys):
+        bare = str(checkpoint)[: -len(".npz")]
+        assert main(["sample", "--checkpoint", bare, "--count", "2"]) == 0
+        assert "samples decoded" in capsys.readouterr().out
+
     def test_vanilla_ae_cannot_sample(self, tmp_path, capsys):
         path = tmp_path / "ae.npz"
         main(["train", "--model", "ae", "--dataset", "qm9", "--samples", "24",
