@@ -1,0 +1,250 @@
+"""Frozen pre-refactor closure-based Tensor, kept as a benchmark baseline.
+
+Before the tape refactor, :mod:`repro.nn.tensor` gave every op its own
+backward closure: each result tensor captured its parents plus a ``backward``
+callable, and ``Tensor.backward`` walked those closures in topological
+order.  The refactor replaced that with a recorded tape of registered
+primitives (:mod:`repro.nn.autodiff`), and ``benchmarks/run_autodiff.py``
+gates the new design against the old one — which requires the old one to
+still exist somewhere runnable.
+
+This module is that somewhere: a faithful, trimmed vendoring of the
+closure-era ``Tensor`` restricted to the ops the autodiff benchmarks
+exercise (arithmetic, matmul, the elementwise activations, and ``sum`` /
+``mean``).  The closure bodies, broadcasting plumbing, accumulation
+semantics, and the ``backward`` walk are copied verbatim from the
+pre-refactor module so the measured baseline is the real historical cost,
+not a strawman.  It intentionally tracks :mod:`repro.nn.precision` for
+gradient dtype policy — identical memory traffic on both sides of the
+comparison.
+
+Do not grow this file: it is a measurement artifact, not a library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.precision import default_precision, grad_dtype
+
+__all__ = ["ClosureTensor"]
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, (np.ndarray, np.generic)) and value.dtype in (
+        np.dtype(np.float32),
+        np.dtype(np.float64),
+    ):
+        return np.asarray(value)
+    return np.asarray(value, dtype=default_precision().real)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` reversing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class ClosureTensor:
+    """The pre-refactor closure-per-op Tensor (benchmark ops only)."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple["ClosureTensor", ...] = ()
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=grad_dtype(self.data.dtype), copy=True)
+        else:
+            self.grad = (self.grad + grad).astype(self.grad.dtype, copy=False)
+
+    def backward(self, grad=None, retain_graph: bool = False) -> None:
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order: list[ClosureTensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[ClosureTensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in order:
+            if node._backward is not None:
+                node.grad = None
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+        if not retain_graph:
+            for node in order:
+                node._backward = None
+                node._prev = ()
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["ClosureTensor"],
+        backward: Callable[["ClosureTensor"], None],
+    ) -> "ClosureTensor":
+        out = ClosureTensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(p for p in parents if p.requires_grad)
+
+            def _run() -> None:
+                backward(out)
+
+            out._backward = _run
+        return out
+
+    def _coerce(self, other) -> "ClosureTensor":
+        if isinstance(other, ClosureTensor):
+            return other
+        arr = np.asarray(other)
+        if arr.ndim == 0:
+            return ClosureTensor(arr.astype(self.data.dtype))
+        return ClosureTensor(arr)
+
+    def __add__(self, other) -> "ClosureTensor":
+        other = self._coerce(other)
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        return ClosureTensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ClosureTensor":
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        return ClosureTensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "ClosureTensor":
+        other = self._coerce(other)
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-out.grad, other.shape))
+
+        return ClosureTensor._make(self.data - other.data, (self, other), backward)
+
+    def __mul__(self, other) -> "ClosureTensor":
+        other = self._coerce(other)
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        return ClosureTensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: float) -> "ClosureTensor":
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        return ClosureTensor._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "ClosureTensor":
+        other = self._coerce(other)
+
+        def backward(out: ClosureTensor) -> None:
+            grad = out.grad
+            a, b = self.data, other.data
+            if self.requires_grad:
+                ga = _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+                self._accumulate(ga.reshape(a.shape))
+            if other.requires_grad:
+                gb = _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+                other._accumulate(gb.reshape(b.shape))
+
+        return ClosureTensor._make(self.data @ other.data, (self, other), backward)
+
+    def exp(self) -> "ClosureTensor":
+        value = np.exp(self.data)
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * value)
+
+        return ClosureTensor._make(value, (self,), backward)
+
+    def relu(self) -> "ClosureTensor":
+        mask = self.data > 0
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        return ClosureTensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "ClosureTensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * value * (1.0 - value))
+
+        return ClosureTensor._make(value, (self,), backward)
+
+    def tanh(self) -> "ClosureTensor":
+        value = np.tanh(self.data)
+
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - value**2))
+
+        return ClosureTensor._make(value, (self,), backward)
+
+    def sum(self) -> "ClosureTensor":
+        def backward(out: ClosureTensor) -> None:
+            if self.requires_grad:
+                self._accumulate(np.broadcast_to(out.grad, self.data.shape))
+
+        return ClosureTensor._make(self.data.sum(), (self,), backward)

@@ -6,8 +6,10 @@ Public surface::
     from repro.nn import functional as F
 """
 
+from . import autodiff
 from . import functional
 from . import init
+from .autodiff import enable_grad, grad, hvp
 from .modules import (
     Identity,
     Lambda,
@@ -38,7 +40,11 @@ from .tensor import Tensor, is_grad_enabled, no_grad
 __all__ = [
     "Tensor",
     "no_grad",
+    "enable_grad",
     "is_grad_enabled",
+    "autodiff",
+    "grad",
+    "hvp",
     "Module",
     "Parameter",
     "Linear",

@@ -108,6 +108,17 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def requires_grad_(self, requires_grad: bool = True) -> "Module":
+        """Freeze or unfreeze every parameter in place (torch-style).
+
+        Frozen parameters drop out of the recorded tape entirely — ops on
+        them record no node, so backward skips their whole subgraph rather
+        than computing and discarding gradients.
+        """
+        for param in self.parameters():
+            param.requires_grad = bool(requires_grad)
+        return self
+
     # -- state ----------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy of every parameter array keyed by dotted name."""

@@ -13,7 +13,6 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .modules import Parameter
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam"]

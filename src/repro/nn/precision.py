@@ -154,6 +154,11 @@ def grad_dtype(data_dtype) -> np.dtype:
     the default ``float64`` policy every buffer is float64 (the historical
     behavior); under ``float32`` a float32 tensor accumulates in float32;
     under ``mixed32`` accumulation is widened back to float64.
+
+    ``Tensor._accumulate`` applies this on the *first* write into a grad
+    buffer; the tape's backward walk (:mod:`repro.nn.autodiff`) routes
+    every VJP — classical and quantum alike — through that one accumulation
+    point, so the policy governs the whole graph uniformly.
     """
     return np.promote_types(np.dtype(data_dtype), default_precision().grad_real)
 

@@ -1,60 +1,78 @@
 """Reverse-mode automatic differentiation on numpy arrays.
 
 This module is the substrate that replaces PyTorch's autograd for the
-reproduction.  A :class:`Tensor` wraps a floating-point numpy array together
-with an optional gradient buffer and a backward closure.  Calling
-:meth:`Tensor.backward` on a scalar result propagates gradients to every leaf
-tensor created with ``requires_grad=True``.
+reproduction.  A :class:`Tensor` wraps a floating-point numpy array
+together with an optional gradient buffer and — when gradients are being
+recorded — a :class:`repro.nn.autodiff.Node` naming the primitive that
+produced it.  Calling :meth:`Tensor.backward` on a scalar result
+propagates gradients to every leaf tensor created with
+``requires_grad=True``.
 
 Design notes
 ------------
-* Gradients follow numpy broadcasting: every op records how its inputs were
-  broadcast and :func:`_unbroadcast` sums the upstream gradient back down to
-  the original shape.
-* The graph is dynamic (define-by-run) and torn down after ``backward`` unless
-  ``retain_graph=True`` is passed.
+* **Tape + VJP registry, not per-op closures.**  Every operation is a
+  registered :class:`~repro.nn.autodiff.Primitive` whose vector-Jacobian
+  products live in a module-level table (``defvjp`` /``defvjp_all``) —
+  one entry per op instead of a closure allocated per call.  Forward
+  methods compute the result array (plus any forward-time constants such
+  as activation masks or concat offsets) and record a single ``Node``;
+  one generic topological walk in :mod:`repro.nn.autodiff` drives every
+  backward, classical or quantum.  Quantum layers join the same tape by
+  recording their engine adjoints as custom VJPs (``tape_record``).
+* **Dual-mode VJPs.**  Each VJP body is written to accept either raw
+  numpy arrays (the fast first-order walk — no wrapper overhead on the
+  hot path, numerically identical to the old closure design) or Tensors
+  (the ``create_graph`` walk of :func:`repro.nn.autodiff.grad`, where
+  every VJP is re-recorded through these same primitives).  That is what
+  makes grad-of-grad — :func:`repro.nn.autodiff.hvp` — fall out of the
+  design instead of needing a second implementation.
+* Gradients follow numpy broadcasting: every op's VJP sums the upstream
+  gradient back down to the operand's shape via :func:`_unbroadcast` (or
+  its dual-mode twin ``_unb_any``).
+* The graph is dynamic (define-by-run) and torn down after ``backward``
+  unless ``retain_graph=True`` is passed.
 * Tensors are dtype-parameterized over the real dtypes of
   :mod:`repro.nn.precision` (``float32`` / ``float64``).  Explicit arrays
   keep their dtype; non-array data follows the active precision policy
   (``float64`` by default, so parameter-shift gradient cross-checks stay
   exact to machine precision).  Ops propagate their operands' dtype —
-  scalar operands are coerced to the tensor's dtype so float32 chains never
-  silently widen — and gradient buffers accumulate in
+  scalar operands are coerced to the tensor's dtype so float32 chains
+  never silently widen — and gradient buffers accumulate in
   :func:`repro.nn.precision.grad_dtype`, which the ``mixed32`` policy
   widens to float64 for mixed-precision stability.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
+from .autodiff import (
+    Node,
+    Primitive,
+    backward_pass,
+    defvjp,
+    defvjp_all,
+    enable_grad,
+    is_grad_enabled,
+    is_tensor,
+    no_grad,
+    register_tensor_type,
+)
+from .autodiff import _GRAD_ENABLED as _GRAD_CELL
 from .precision import default_precision, grad_dtype
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
-
-_GRAD_ENABLED = [True]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "tape_record",
+]
 
 # Dtypes a Tensor may hold; everything else is cast to the policy default.
 _REAL_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
-
-
-class no_grad:
-    """Context manager disabling gradient tracking (like ``torch.no_grad``)."""
-
-    def __enter__(self) -> "no_grad":
-        self._prev = _GRAD_ENABLED[0]
-        _GRAD_ENABLED[0] = False
-        return self
-
-    def __exit__(self, *exc) -> None:
-        _GRAD_ENABLED[0] = self._prev
-
-
-def is_grad_enabled() -> bool:
-    """Return whether new ops will be recorded on the autodiff tape."""
-    return _GRAD_ENABLED[0]
 
 
 def _validated_dtype(dtype) -> np.dtype:
@@ -93,10 +111,331 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
+# ----------------------------------------------------------------------
+# Dual-mode VJP helpers: each works on a raw ndarray (fast walk) or a
+# Tensor (create_graph walk, where the result must itself be recorded).
+# ----------------------------------------------------------------------
+def _unb_any(grad, shape: tuple):
+    """Dual-mode :func:`_unbroadcast`."""
+    if grad.shape == shape:  # no broadcasting happened — the common case
+        return grad
+    if not is_tensor(grad):
+        return _unbroadcast(grad, shape)
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _reshape_any(grad, shape: tuple):
+    return grad.reshape(shape)
+
+
+def _broadcast_any(grad, shape: tuple):
+    """Dual-mode ``np.broadcast_to`` (recorded so it stays differentiable)."""
+    if not is_tensor(grad):
+        return np.broadcast_to(grad, shape)
+    if grad.shape == shape:
+        return grad
+    return _record(
+        _broadcast_p,
+        np.broadcast_to(grad.data, shape),
+        (grad,),
+        {"shape": grad.shape},
+    )
+
+
+def _log_any(x):
+    return x.log() if is_tensor(x) else np.log(x)
+
+
+def _swap_last(x):
+    """Dual-mode ``np.swapaxes(x, -1, -2)``."""
+    if not is_tensor(x):
+        return np.swapaxes(x, -1, -2)
+    perm = list(range(x.ndim))
+    perm[-1], perm[-2] = perm[-2], perm[-1]
+    return x.transpose(tuple(perm))
+
+
+def _outer_any(u, v):
+    """Dual-mode ``np.outer`` for 1-D operands."""
+    if not (is_tensor(u) or is_tensor(v)):
+        return np.outer(u, v)
+    ur = u.reshape(-1, 1) if is_tensor(u) else np.reshape(u, (-1, 1))
+    vr = v.reshape(1, -1) if is_tensor(v) else np.reshape(v, (1, -1))
+    return ur * vr
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+_EMPTY: dict = {}
+
+
+def _record(prim: Primitive, data, args: tuple, params: dict = _EMPTY) -> "Tensor":
+    """Wrap ``data`` in a Tensor, recording a tape node when tracking.
+
+    Builds the output via ``__new__`` rather than ``Tensor(data)``: every
+    caller hands in the freshly-computed numpy result of the forward
+    expression, so the full ``_as_array`` coercion ladder is skipped on the
+    per-op hot path (only a dtype guard for numpy scalars/odd dtypes stays).
+    """
+    out = Tensor.__new__(Tensor)
+    if data.__class__ is not np.ndarray or data.dtype not in _REAL_DTYPES:
+        data = _as_array(data)
+    out.data = data
+    out.grad = None
+    out.requires_grad = False
+    out._node = None
+    out.name = ""
+    if _GRAD_CELL[0]:
+        parents = [(i, a) for i, a in enumerate(args) if a.requires_grad]
+        if parents:
+            out.requires_grad = True
+            out._node = Node(
+                prim, args, tuple([a.data for a in args]), params,
+                tuple(parents),
+            )
+    return out
+
+
+def tape_record(prim: Primitive, data, args: tuple, params: dict | None = None):
+    """Public recording hook for custom primitives (quantum layers).
+
+    ``args`` must be Tensors; ``params`` carries whatever the registered
+    VJPs need (adjoint caches, circuit handles, geometry).  Returns the
+    output Tensor, wired into the tape iff recording is enabled and some
+    operand requires gradients.
+    """
+    return _record(prim, data, tuple(args), _EMPTY if params is None else params)
+
+
+# ----------------------------------------------------------------------
+# Primitive definitions.  VJP math is kept expression-for-expression
+# identical to the original per-op closures so first-order gradients are
+# bit-identical; the same bodies run on Tensors in the create_graph walk.
+# ----------------------------------------------------------------------
+_add_p = Primitive("add")
+defvjp(
+    _add_p,
+    lambda g, ans, operands, params: _unb_any(g, operands[0].shape),
+    lambda g, ans, operands, params: _unb_any(g, operands[1].shape),
+)
+
+_neg_p = Primitive("neg")
+defvjp(_neg_p, lambda g, ans, operands, params: -g)
+
+_sub_p = Primitive("sub")
+defvjp(
+    _sub_p,
+    lambda g, ans, operands, params: _unb_any(g, operands[0].shape),
+    lambda g, ans, operands, params: _unb_any(-g, operands[1].shape),
+)
+
+_mul_p = Primitive("mul")
+defvjp(
+    _mul_p,
+    lambda g, ans, operands, params: _unb_any(g * operands[1], operands[0].shape),
+    lambda g, ans, operands, params: _unb_any(g * operands[0], operands[1].shape),
+)
+
+_div_p = Primitive("div")
+defvjp(
+    _div_p,
+    lambda g, ans, operands, params: _unb_any(g / operands[1], operands[0].shape),
+    lambda g, ans, operands, params: _unb_any(
+        -g * operands[0] / operands[1] ** 2, operands[1].shape
+    ),
+)
+
+# Scalar exponent: the historical fast path (exponent lives in params).
+_pow_const_p = Primitive("pow_const")
+defvjp(
+    _pow_const_p,
+    lambda g, ans, operands, params: g
+    * params["c"]
+    * operands[0] ** (params["c"] - 1),
+)
+
+# Tensor exponent: log-based VJP (d/db a**b = a**b * log a).
+_pow_p = Primitive("pow")
+defvjp(
+    _pow_p,
+    lambda g, ans, operands, params: _unb_any(
+        g * operands[1] * operands[0] ** (operands[1] - 1.0), operands[0].shape
+    ),
+    lambda g, ans, operands, params: _unb_any(
+        g * ans * _log_any(operands[0]), operands[1].shape
+    ),
+)
+
+
+def _matmul_vjp_a(g, ans, operands, params):
+    a, b = operands
+    if b.ndim == 1:
+        ga = _outer_any(g, b) if a.ndim == 2 else g * b
+    else:
+        ga = g @ _swap_last(b)
+        if a.ndim != 1:
+            ga = _unb_any(ga, a.shape)
+    return _reshape_any(ga, a.shape)
+
+
+def _matmul_vjp_b(g, ans, operands, params):
+    a, b = operands
+    if a.ndim == 1:
+        gb = g * a if b.ndim == 1 else _outer_any(a, g)
+    else:
+        gb = _swap_last(a) @ g
+        if b.ndim != 1:
+            gb = _unb_any(gb, b.shape)
+    return _reshape_any(gb, b.shape)
+
+
+_matmul_p = Primitive("matmul")
+defvjp(_matmul_p, _matmul_vjp_a, _matmul_vjp_b)
+
+_exp_p = Primitive("exp")
+defvjp(_exp_p, lambda g, ans, operands, params: g * ans)
+
+_log_p = Primitive("log")
+defvjp(_log_p, lambda g, ans, operands, params: g / operands[0])
+
+_sqrt_p = Primitive("sqrt")
+defvjp(_sqrt_p, lambda g, ans, operands, params: g * 0.5 / ans)
+
+_relu_p = Primitive("relu")
+defvjp(_relu_p, lambda g, ans, operands, params: g * params["mask"])
+
+_sigmoid_p = Primitive("sigmoid")
+defvjp(_sigmoid_p, lambda g, ans, operands, params: g * ans * (1.0 - ans))
+
+_tanh_p = Primitive("tanh")
+defvjp(_tanh_p, lambda g, ans, operands, params: g * (1.0 - ans**2))
+
+_abs_p = Primitive("abs")
+defvjp(_abs_p, lambda g, ans, operands, params: g * params["sign"])
+
+_clip_p = Primitive("clip")
+defvjp(_clip_p, lambda g, ans, operands, params: g * params["mask"])
+
+
+def _reduced_grad_shape(g, params):
+    """Reshape ``g`` so it broadcasts against the pre-reduction shape."""
+    axis, keepdims, shape = params["axis"], params["keepdims"], params["shape"]
+    if axis is not None and not keepdims:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        axes = tuple(a % len(shape) for a in axes)
+        gshape = tuple(1 if i in axes else dim for i, dim in enumerate(shape))
+        g = _reshape_any(g, gshape)
+    return g
+
+
+def _sum_vjp(g, ans, operands, params):
+    return _broadcast_any(_reduced_grad_shape(g, params), params["shape"])
+
+
+_sum_p = Primitive("sum")
+defvjp(_sum_p, _sum_vjp)
+
+
+def _max_vjp(g, ans, operands, params):
+    g = _reduced_grad_shape(g, params)
+    return (
+        _broadcast_any(g, params["shape"]) * params["mask"] / params["counts"]
+    )
+
+
+_max_p = Primitive("max")
+defvjp(_max_p, _max_vjp)
+
+_reshape_prim = Primitive("reshape")
+defvjp(
+    _reshape_prim, lambda g, ans, operands, params: g.reshape(params["shape"])
+)
+
+_broadcast_p = Primitive("broadcast_to")
+defvjp(
+    _broadcast_p, lambda g, ans, operands, params: _unb_any(g, params["shape"])
+)
+
+_transpose_p = Primitive("transpose")
+defvjp(
+    _transpose_p,
+    lambda g, ans, operands, params: g.transpose(params["inverse"]),
+)
+
+_astype_p = Primitive("astype")
+defvjp(
+    _astype_p,
+    lambda g, ans, operands, params: g.astype(params["source"]),
+)
+
+
+def _getitem_vjp(g, ans, operands, params):
+    key, shape, dtype = params["key"], params["shape"], params["dtype"]
+    buf = np.zeros(shape, dtype=dtype)
+    if is_tensor(g):
+        np.add.at(buf, key, g.data)
+        return _record(_scatter_p, buf, (g,), {"key": key})
+    np.add.at(buf, key, g)
+    return buf
+
+
+_getitem_p = Primitive("getitem")
+defvjp(_getitem_p, _getitem_vjp)
+
+# Gradient of a scatter is the gather back through the same key — this is
+# what keeps ``__getitem__`` differentiable to arbitrary order.
+_scatter_p = Primitive("scatter_add")
+defvjp(_scatter_p, lambda g, ans, operands, params: g[params["key"]])
+
+
+def _concat_vjp_all(g, ans, operands, params, argnums):
+    axis, offsets = params["axis"], params["offsets"]
+    nd = g.ndim
+    grads = []
+    for k in argnums:
+        index = [slice(None)] * nd
+        index[axis] = slice(offsets[k], offsets[k + 1])
+        grads.append(g[tuple(index)])
+    return grads
+
+
+_concat_p = Primitive("concatenate")
+defvjp_all(_concat_p, _concat_vjp_all)
+
+
+def _stack_vjp_all(g, ans, operands, params, argnums):
+    axis = params["axis"]
+    if is_tensor(g):
+        nd = g.ndim
+        grads = []
+        for k in argnums:
+            index = [slice(None)] * nd
+            index[axis] = k
+            grads.append(g[tuple(index)])
+        return grads
+    moved = np.moveaxis(g, axis, 0)
+    return [moved[k] for k in argnums]
+
+
+_stack_p = Primitive("stack")
+defvjp_all(_stack_p, _stack_vjp_all)
+
+
 class Tensor:
     """A numpy-backed tensor that records operations for reverse-mode AD."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_node", "name")
+
+    # Make ``ndarray <op> Tensor`` defer to the Tensor's reflected methods
+    # instead of numpy trying (and failing) to coerce the Tensor itself.
+    __array_priority__ = 1000
 
     def __init__(
         self, data, requires_grad: bool = False, name: str = "", dtype=None
@@ -104,8 +443,7 @@ class Tensor:
         self.data = _as_array(data, dtype=dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
-        self._backward: Callable[[], None] | None = None
-        self._prev: tuple[Tensor, ...] = ()
+        self._node: Node | None = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -164,13 +502,12 @@ class Tensor:
     def astype(self, dtype) -> "Tensor":
         """Differentiable dtype cast; the gradient is cast back on backward."""
         dtype = _validated_dtype(dtype)
-        source = self.data.dtype
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad.astype(source, copy=False))
-
-        return Tensor._make(self.data.astype(dtype, copy=False), (self,), backward)
+        return _record(
+            _astype_p,
+            self.data.astype(dtype, copy=False),
+            (self,),
+            {"source": self.data.dtype},
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         flag = ", requires_grad=True" if self.requires_grad else ""
@@ -182,9 +519,20 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph plumbing
     # ------------------------------------------------------------------
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad) -> None:
+        if grad.__class__ is not np.ndarray and is_tensor(grad):
+            grad = grad.data
         if self.grad is None:
-            self.grad = np.array(grad, dtype=grad_dtype(self.data.dtype), copy=True)
+            want = grad_dtype(self.data.dtype)
+            if grad.dtype == want and self._node is not None:
+                # Intermediate tensors: the buffer is only ever read (a
+                # second contribution rebinds it to a fresh sum), so the
+                # VJP output can be adopted directly — no defensive copy,
+                # and stride-0 broadcast cotangents stay unmaterialized.
+                # Leaves keep the copy so .grad never aliases graph state.
+                self.grad = grad
+                return
+            self.grad = np.array(grad, dtype=want, copy=True)
         else:
             # Keep the buffer dtype stable: a float64 contribution must not
             # silently widen a float32 accumulator mid-backward.
@@ -201,7 +549,7 @@ class Tensor:
         grad:
             Upstream gradient.  Defaults to 1 for scalar tensors.
         retain_graph:
-            Keep backward closures alive so ``backward`` can run again.
+            Keep the recorded graph alive so ``backward`` can run again.
         """
         if grad is None:
             if self.data.size != 1:
@@ -213,58 +561,7 @@ class Tensor:
         grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
-
-        order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._prev:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-
-        # Intermediate (non-leaf) gradients are not retained across backward
-        # passes — mirror torch semantics so retain_graph reruns are correct.
-        for node in order:
-            if node._backward is not None:
-                node.grad = None
-
-        self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward()
-        if not retain_graph:
-            for node in order:
-                node._backward = None
-                node._prev = ()
-
-    # ------------------------------------------------------------------
-    # Internal op constructor
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _make(
-        data: np.ndarray,
-        parents: Sequence["Tensor"],
-        backward: Callable[["Tensor"], None] | None,
-    ) -> "Tensor":
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data)
-        out.requires_grad = requires
-        if requires and backward is not None:
-            out._prev = tuple(p for p in parents if p.requires_grad)
-
-            def _run() -> None:
-                backward(out)
-
-            out._backward = _run
-        return out
+        backward_pass(self, grad, retain_graph=retain_graph)
 
     def _coerce(self, other) -> "Tensor":
         """Wrap a non-Tensor operand; scalars adopt this tensor's dtype so
@@ -281,205 +578,96 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(out.grad, other.shape))
-
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        return _record(_add_p, self.data + other.data, (self, other))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(-out.grad)
-
-        return Tensor._make(-self.data, (self,), backward)
+        return _record(_neg_p, -self.data, (self,))
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(-out.grad, other.shape))
-
-        return Tensor._make(self.data - other.data, (self, other), backward)
+        return _record(_sub_p, self.data - other.data, (self, other))
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other) - self
 
     def __mul__(self, other) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
-
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        return _record(_mul_p, self.data * other.data, (self, other))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce(other)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    _unbroadcast(-out.grad * self.data / other.data**2, other.shape)
-                )
-
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        return _record(_div_p, self.data / other.data, (self, other))
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
 
-    def __pow__(self, exponent: float) -> "Tensor":
+    def __pow__(self, exponent) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            return _record(
+                _pow_p, self.data**exponent.data, (self, exponent)
+            )
         if not isinstance(exponent, (int, float)):
-            raise TypeError("Tensor ** only supports scalar exponents")
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._make(self.data**exponent, (self,), backward)
+            raise TypeError(
+                "Tensor ** supports scalar exponents and Tensor exponents, "
+                f"got {type(exponent).__name__}"
+            )
+        return _record(
+            _pow_const_p, self.data**exponent, (self,), {"c": exponent}
+        )
 
     def __matmul__(self, other) -> "Tensor":
         other = self._coerce(other)
+        return _record(_matmul_p, self.data @ other.data, (self, other))
 
-        def backward(out: Tensor) -> None:
-            grad = out.grad
-            a, b = self.data, other.data
-            if self.requires_grad:
-                if b.ndim == 1:
-                    ga = np.outer(grad, b) if a.ndim == 2 else grad * b
-                    if a.ndim == 1:
-                        ga = grad * b  # scalar grad times vector
-                else:
-                    gb_t = np.swapaxes(b, -1, -2)
-                    if a.ndim == 1:
-                        ga = grad @ gb_t
-                    else:
-                        ga = grad @ gb_t
-                        ga = _unbroadcast(ga, a.shape)
-                self._accumulate(ga.reshape(a.shape))
-            if other.requires_grad:
-                if a.ndim == 1:
-                    if b.ndim == 1:
-                        gb = grad * a
-                    else:
-                        gb = np.outer(a, grad)
-                else:
-                    at = np.swapaxes(a, -1, -2)
-                    if b.ndim == 1:
-                        gb = at @ grad
-                    else:
-                        gb = at @ grad
-                        gb = _unbroadcast(gb, b.shape)
-                other._accumulate(gb.reshape(b.shape))
-
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+    def __rmatmul__(self, other) -> "Tensor":
+        return self._coerce(other) @ self
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        value = np.exp(self.data)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * value)
-
-        return Tensor._make(value, (self,), backward)
+        return _record(_exp_p, np.exp(self.data), (self,))
 
     def log(self) -> "Tensor":
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad / self.data)
-
-        return Tensor._make(np.log(self.data), (self,), backward)
+        return _record(_log_p, np.log(self.data), (self,))
 
     def sqrt(self) -> "Tensor":
-        value = np.sqrt(self.data)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * 0.5 / value)
-
-        return Tensor._make(value, (self,), backward)
+        return _record(_sqrt_p, np.sqrt(self.data), (self,))
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * mask)
-
-        return Tensor._make(self.data * mask, (self,), backward)
+        return _record(_relu_p, self.data * mask, (self,), {"mask": mask})
 
     def sigmoid(self) -> "Tensor":
-        value = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * value * (1.0 - value))
-
-        return Tensor._make(value, (self,), backward)
+        return _record(_sigmoid_p, 1.0 / (1.0 + np.exp(-self.data)), (self,))
 
     def tanh(self) -> "Tensor":
-        value = np.tanh(self.data)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * (1.0 - value**2))
-
-        return Tensor._make(value, (self,), backward)
+        return _record(_tanh_p, np.tanh(self.data), (self,))
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * sign)
-
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return _record(
+            _abs_p, np.abs(self.data), (self,), {"sign": np.sign(self.data)}
+        )
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * mask)
-
-        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+        return _record(
+            _clip_p, np.clip(self.data, low, high), (self,), {"mask": mask}
+        )
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        def backward(out: Tensor) -> None:
-            if not self.requires_grad:
-                return
-            grad = out.grad
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                axes = tuple(a % self.data.ndim for a in axes)
-                shape = [
-                    1 if i in axes else dim for i, dim in enumerate(self.data.shape)
-                ]
-                grad = grad.reshape(shape)
-            self._accumulate(np.broadcast_to(grad, self.data.shape))
-
-        return Tensor._make(
-            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        return _record(
+            _sum_p,
+            self.data.sum(axis=axis, keepdims=keepdims),
+            (self,),
+            {"axis": axis, "keepdims": keepdims, "shape": self.data.shape},
         )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -492,24 +680,20 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         value = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(out: Tensor) -> None:
-            if not self.requires_grad:
-                return
-            grad = out.grad
-            full = self.data.max(axis=axis, keepdims=True)
-            mask = self.data == full
-            counts = mask.sum(axis=axis, keepdims=True)
-            if axis is not None and not keepdims:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                axes = tuple(a % self.data.ndim for a in axes)
-                shape = [
-                    1 if i in axes else dim for i, dim in enumerate(self.data.shape)
-                ]
-                grad = grad.reshape(shape)
-            self._accumulate(np.broadcast_to(grad, self.data.shape) * mask / counts)
-
-        return Tensor._make(value, (self,), backward)
+        full = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == full
+        return _record(
+            _max_p,
+            value,
+            (self,),
+            {
+                "axis": axis,
+                "keepdims": keepdims,
+                "shape": self.data.shape,
+                "mask": mask,
+                "counts": mask.sum(axis=axis, keepdims=True),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -517,67 +701,60 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad.reshape(self.data.shape))
-
-        return Tensor._make(self.data.reshape(shape), (self,), backward)
+        return _record(
+            _reshape_prim,
+            self.data.reshape(shape),
+            (self,),
+            {"shape": self.data.shape},
+        )
 
     def transpose(self, *axes) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        inverse = np.argsort(axes)
-
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad.transpose(inverse))
-
-        return Tensor._make(self.data.transpose(axes), (self,), backward)
+        inverse = tuple(int(i) for i in np.argsort(axes))
+        return _record(
+            _transpose_p,
+            self.data.transpose(axes),
+            (self,),
+            {"inverse": inverse},
+        )
 
     @property
     def T(self) -> "Tensor":
         return self.transpose()
 
     def __getitem__(self, key) -> "Tensor":
-        def backward(out: Tensor) -> None:
-            if self.requires_grad:
-                grad = np.zeros_like(self.data)
-                np.add.at(grad, key, out.grad)
-                self._accumulate(grad)
-
-        return Tensor._make(self.data[key], (self,), backward)
+        return _record(
+            _getitem_p,
+            self.data[key],
+            (self,),
+            {"key": key, "shape": self.data.shape, "dtype": self.data.dtype},
+        )
 
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = list(tensors)
+        tensors = tuple(tensors)
         datas = [t.data for t in tensors]
-        sizes = [d.shape[axis] for d in datas]
-        offsets = np.cumsum([0] + sizes)
-
-        def backward(out: Tensor) -> None:
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                if tensor.requires_grad:
-                    index = [slice(None)] * out.grad.ndim
-                    index[axis] = slice(start, stop)
-                    tensor._accumulate(out.grad[tuple(index)])
-
-        return Tensor._make(np.concatenate(datas, axis=axis), tensors, backward)
+        offsets = [0]
+        for d in datas:
+            offsets.append(offsets[-1] + d.shape[axis])
+        return _record(
+            _concat_p,
+            np.concatenate(datas, axis=axis),
+            tensors,
+            {"axis": axis, "offsets": offsets},
+        )
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = list(tensors)
-
-        def backward(out: Tensor) -> None:
-            grads = np.moveaxis(out.grad, axis, 0)
-            for tensor, grad in zip(tensors, grads):
-                if tensor.requires_grad:
-                    tensor._accumulate(grad)
-
-        return Tensor._make(
-            np.stack([t.data for t in tensors], axis=axis), tensors, backward
+        tensors = tuple(tensors)
+        return _record(
+            _stack_p,
+            np.stack([t.data for t in tensors], axis=axis),
+            tensors,
+            {"axis": axis},
         )
 
     # ------------------------------------------------------------------
@@ -590,3 +767,6 @@ class Tensor:
     def __lt__(self, other):
         other = other.data if isinstance(other, Tensor) else other
         return self.data < other
+
+
+register_tensor_type(Tensor)

@@ -14,28 +14,39 @@ Stacked execution contract
 The ``p`` sub-circuits are independent and (when built from one factory)
 structurally identical, so :class:`PatchedQuantumLayer` does not loop over
 them: it stacks the per-patch input slices into ``(p, batch, in)``, the
-per-patch weight vectors into ``(p, n_weights)``, and makes **one** engine
-invocation through :func:`repro.quantum.autodiff.execute_stacked` — a single
-``(p * batch, 2**n)`` statevector pass through one compiled plan, with one
-adjoint walk returning every patch's weight and input gradients
-(:func:`repro.quantum.autodiff.backward_stacked`).  Patches whose circuits
-are *not* structurally identical (or a layer built with ``stacked=False``)
-fall back to the sequential per-patch loop, which is also the reference the
-stacked path is property-tested against.
+per-patch weight vectors into a ``(p, n_weights)`` Tensor, and records
+**one** tape primitive around :func:`repro.quantum.autodiff
+.execute_stacked` — a single ``(p * batch, 2**n)`` statevector pass
+through one compiled plan, whose registered VJP is one adjoint walk
+returning every patch's weight and input gradients
+(:func:`repro.quantum.autodiff.backward_stacked`).  The ``Tensor.stack``
+node routes the ``(p, n_weights)`` gradient back to the individual patch
+``Parameter``s.  Patches whose circuits are *not* structurally identical
+(or a layer built with ``stacked=False``) fall back to the sequential
+per-patch loop, which is also the reference the stacked path is
+property-tested against.
+
+Under ``create_graph`` the stacked primitive's VJP switches to the
+parameter-shift rule, exploiting patch independence: patch outputs depend
+only on their own weight row, so shifting weight *column* ``i`` across all
+``p`` rows simultaneously is exact — ``2 * n_weights`` stacked executions
+instead of ``2 * p * n_weights``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..nn.autodiff import Primitive, defvjp_all, is_tensor
 from ..nn.init import fresh_rng
 from ..nn.modules import Module, ModuleList
 from ..nn.precision import resolve_precision
-from ..nn.tensor import Tensor, is_grad_enabled
+from ..nn.tensor import Tensor, is_grad_enabled, tape_record
 from ..quantum.autodiff import backward_stacked, execute_stacked
 from ..quantum.backends import resolve_backend
 from ..quantum.circuit import Circuit
 from ..quantum.engine import circuit_signature, stacked_plan
+from ..quantum.shift import _SHIFT, require_two_term
 from .qlayer import QuantumLayer
 
 __all__ = ["PatchedQuantumLayer", "patched_latent_dim", "patch_qubits"]
@@ -63,6 +74,124 @@ def patch_qubits(n_features: int, n_patches: int) -> int:
 def patched_latent_dim(n_features: int, n_patches: int) -> int:
     """Latent dimension of a patched amplitude encoder: p * log2(features/p)."""
     return n_patches * patch_qubits(n_features, n_patches)
+
+
+def _stacked_vjp_all(g, ans, operands, params, argnums):
+    if is_tensor(g):
+        return _stacked_vjp_graph(g, operands, params, argnums)
+    p, per_out = params["n_patches"], params["per_out"]
+    batch, input_dim = params["batch"], params["input_dim"]
+    grad_out = np.ascontiguousarray(
+        g.reshape(batch, p, per_out).transpose(1, 0, 2)
+    )
+    grad_inputs, grad_weights = backward_stacked(
+        params["cache"], grad_out, want_inputs=1 in argnums
+    )
+    grads = []
+    for argnum in argnums:
+        if argnum == 0:
+            grads.append(grad_weights)
+        else:
+            grads.append(
+                np.ascontiguousarray(
+                    grad_inputs.transpose(1, 0, 2)
+                ).reshape(batch, input_dim)
+            )
+    return grads
+
+
+def _stacked_vjp_graph(g, operands, params, argnums):
+    """``create_graph`` VJP: per-column parameter shift over all patches.
+
+    Patch ``k``'s outputs depend only on weight row ``k``, so adding the
+    shift to column ``i`` of every row at once yields each patch's shifted
+    evaluation in a single stacked pass.
+    """
+    if any(argnum != 0 for argnum in argnums):
+        raise NotImplementedError(
+            "higher-order gradients w.r.t. patched-layer inputs are not "
+            "supported; only the rotation weights admit the "
+            "parameter-shift recursion"
+        )
+    template = params["template"]
+    require_two_term(template)
+    weights, x = operands[0], operands[1]
+    p, per_out, batch = params["n_patches"], params["per_out"], params["batch"]
+    precision, backend = params["precision"], params["backend"]
+    g3 = g.reshape(batch, p, per_out).transpose((1, 0, 2))
+    n = template.n_weights
+    cols = []
+    for index in range(n):
+        shift = np.zeros(n, dtype=weights.dtype)
+        shift[index] = _SHIFT
+        plus = quantum_execute_stacked(
+            template, weights + shift, x, p, precision=precision,
+            backend=backend,
+        )
+        minus = quantum_execute_stacked(
+            template, weights - shift, x, p, precision=precision,
+            backend=backend,
+        )
+        jac = ((plus - minus) * 0.5).reshape(batch, p, per_out).transpose(
+            (1, 0, 2)
+        )
+        cols.append((g3 * jac).sum(axis=(1, 2)))
+    return [Tensor.stack(cols, axis=1)]
+
+
+_QSTACKED = Primitive("quantum_execute_stacked")
+defvjp_all(_QSTACKED, _stacked_vjp_all)
+
+
+def quantum_execute_stacked(
+    template: Circuit,
+    weights: Tensor,
+    x: Tensor,
+    n_patches: int,
+    precision=None,
+    backend=None,
+) -> Tensor:
+    """Run ``p`` independent patch circuits as one recorded tape primitive.
+
+    ``weights`` is the stacked ``(p, n_weights)`` Tensor, ``x`` the flat
+    ``(batch, p * inputs_per_patch)`` feature Tensor.  Returns the
+    concatenated ``(batch, p * per_out)`` outputs with the stacked adjoint
+    registered as the primitive's VJP.
+    """
+    precision = resolve_precision(precision)
+    batch = x.shape[0]
+    per_in = x.shape[1] // n_patches
+    inputs = np.ascontiguousarray(
+        np.asarray(x.data, dtype=precision.real)
+        .reshape(batch, n_patches, per_in)
+        .transpose(1, 0, 2)
+    )
+    track = is_grad_enabled() and (weights.requires_grad or x.requires_grad)
+    stacked_out, cache = execute_stacked(
+        template, inputs, weights.data, want_cache=track,
+        dtype=precision, backend=backend,
+    )
+    per_out = stacked_out.shape[2]
+    data = np.ascontiguousarray(stacked_out.transpose(1, 0, 2)).reshape(
+        batch, n_patches * per_out
+    )
+    if not track:
+        return Tensor(data)
+    return tape_record(
+        _QSTACKED,
+        data,
+        (weights, x),
+        {
+            "cache": cache,
+            "template": template,
+            "n_patches": n_patches,
+            "per_out": per_out,
+            "batch": batch,
+            "input_dim": x.shape[1],
+            "precision": precision,
+            "backend": backend,
+        },
+    )
 
 
 class PatchedQuantumLayer(Module):
@@ -165,57 +294,15 @@ class PatchedQuantumLayer(Module):
 
     def _forward_stacked(self, x: Tensor) -> Tensor:
         """Fast path: all p patches as one stacked statevector pass."""
-        batch = x.shape[0]
-        p, per_in = self.n_patches, self.inputs_per_patch
-        inputs = np.ascontiguousarray(
-            np.asarray(x.data, dtype=self.precision.real)
-            .reshape(batch, p, per_in)
-            .transpose(1, 0, 2)
+        weights = Tensor.stack([patch.weights for patch in self.patches])
+        return quantum_execute_stacked(
+            self._template,
+            weights,
+            x,
+            self.n_patches,
+            precision=self.precision,
+            backend=self.backend,
         )
-        weights = np.stack([patch.weights.data for patch in self.patches])
-        track = is_grad_enabled() and (
-            x.requires_grad
-            or any(patch.weights.requires_grad for patch in self.patches)
-        )
-        stacked_out, cache = execute_stacked(
-            self._template, inputs, weights, want_cache=track,
-            dtype=self.precision, backend=self.backend,
-        )
-        per_out = stacked_out.shape[2]
-        out = Tensor(
-            np.ascontiguousarray(stacked_out.transpose(1, 0, 2)).reshape(
-                batch, self.output_dim
-            )
-        )
-        if not track:
-            return out
-
-        out.requires_grad = True
-        parents = [patch.weights for patch in self.patches]
-        if x.requires_grad:
-            parents.append(x)
-        out._prev = tuple(parents)
-        patches = self.patches
-
-        def _backward() -> None:
-            grad_out = np.ascontiguousarray(
-                out.grad.reshape(batch, p, per_out).transpose(1, 0, 2)
-            )
-            grad_inputs, grad_weights = backward_stacked(
-                cache, grad_out, want_inputs=x.requires_grad
-            )
-            for k, patch in enumerate(patches):
-                if patch.weights.requires_grad:
-                    patch.weights._accumulate(grad_weights[k])
-            if x.requires_grad and grad_inputs is not None:
-                x._accumulate(
-                    np.ascontiguousarray(
-                        grad_inputs.transpose(1, 0, 2)
-                    ).reshape(batch, self.input_dim)
-                )
-
-        out._backward = _backward
-        return out
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (

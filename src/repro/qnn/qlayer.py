@@ -2,30 +2,149 @@
 
 :class:`QuantumLayer` owns the circuit's trainable rotation angles as a
 ``Parameter`` tagged ``group='quantum'`` (so the optimizer can apply the
-paper's heterogeneous learning rates) and splices the simulator's exact
-vector-Jacobian product into the autodiff tape.  Since the adjoint
+paper's heterogeneous learning rates) and records every execution as a
+first-class autodiff primitive (:func:`quantum_execute`): the simulator's
+exact vector-Jacobian product is the primitive's registered VJP, so
+``no_grad``, ``retain_graph``, precision policy, and gradient accumulation
+flow through the same tape walk as the classical ops.  Since the adjoint
 unification, that VJP runs on the same block/kernel substrate as the
 stacked patched path (:mod:`repro.quantum.engine`): a degenerate ``p = 1``
 stack with the checkpointed transition-matrix backward, so single-circuit
 layers — the MolQAE-style non-patched autoencoders — train on the same hot
 path as the patched ones.
+
+When the backward walk itself is being recorded (``create_graph=True``,
+the grad-of-grad path behind :func:`repro.nn.autodiff.hvp`), the adjoint
+cache is of no use — it yields numbers, not a differentiable graph.  The
+primitive's VJP then switches to the parameter-shift rule: each weight
+gradient is expanded into two shifted executions of the *same* recorded
+primitive, whose own (fast) VJPs are exact adjoints — so second
+derivatives are shift-of-adjoint, exact to machine precision for circuits
+whose weight-sourced gates admit the two-term rule (RX/RY/RZ; enforced by
+:func:`repro.quantum.shift.require_two_term`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..nn.autodiff import Primitive, defvjp_all, is_tensor
 from ..nn.init import fresh_rng
 from ..nn.modules import Module, Parameter
 from ..nn.precision import resolve_precision
-from ..nn.tensor import Tensor, is_grad_enabled
+from ..nn.tensor import Tensor, is_grad_enabled, tape_record
 from ..quantum.autodiff import backward as q_backward
 from ..quantum.autodiff import execute as q_execute
 from ..quantum.backends import resolve_backend
 from ..quantum.circuit import Circuit
 from ..quantum.engine import compiled_plan
+from ..quantum.shift import _SHIFT, require_two_term
 
-__all__ = ["QuantumLayer"]
+__all__ = ["QuantumLayer", "quantum_execute"]
+
+
+def _quantum_vjp_all(g, ans, operands, params, argnums):
+    if is_tensor(g):
+        return _quantum_vjp_graph(g, operands, params, argnums)
+    circuit = params["circuit"]
+    grad_inputs, grad_weights = q_backward(params["cache"], g)
+    grads = []
+    for argnum in argnums:
+        if argnum == 0:
+            grads.append(grad_weights)
+        elif grad_inputs is None:  # pragma: no cover - cache always has inputs
+            grads.append(None)
+        else:
+            x_val = operands[1]
+            if x_val.shape[1] > circuit.n_inputs:
+                full = np.zeros_like(x_val)
+                full[:, : circuit.n_inputs] = grad_inputs
+                grads.append(full)
+            else:
+                grads.append(grad_inputs)
+    return grads
+
+
+def _quantum_vjp_graph(g, operands, params, argnums):
+    """``create_graph`` VJP: expand weight gradients by parameter shift.
+
+    Each shifted evaluation is itself a recorded quantum primitive, so the
+    next backward walk differentiates it with the exact adjoint — second
+    derivatives come out as shift-of-adjoint.
+    """
+    if any(argnum != 0 for argnum in argnums):
+        raise NotImplementedError(
+            "higher-order gradients w.r.t. quantum-layer inputs are not "
+            "supported; only the rotation weights admit the "
+            "parameter-shift recursion"
+        )
+    circuit = params["circuit"]
+    require_two_term(circuit)
+    weights = operands[0]
+    x = operands[1] if len(operands) > 1 else None
+    precision, backend = params["precision"], params["backend"]
+    n = circuit.n_weights
+    cols = []
+    for index in range(n):
+        shift = np.zeros(n, dtype=weights.dtype)
+        shift[index] = _SHIFT
+        plus = quantum_execute(
+            circuit, weights + shift, x, precision=precision, backend=backend
+        )
+        minus = quantum_execute(
+            circuit, weights - shift, x, precision=precision, backend=backend
+        )
+        cols.append((g * ((plus - minus) * 0.5)).sum())
+    return [Tensor.stack(cols)]
+
+
+_QEXEC = Primitive("quantum_execute")
+defvjp_all(_QEXEC, _quantum_vjp_all)
+
+
+def quantum_execute(
+    circuit: Circuit,
+    weights: Tensor,
+    x: Tensor | None = None,
+    precision=None,
+    backend=None,
+) -> Tensor:
+    """Run ``circuit`` as a recorded tape primitive.
+
+    ``weights`` (and optionally ``x``) are Tensors; the returned
+    ``(batch, output_dim)`` Tensor carries a tape node whose VJP is the
+    engine's exact adjoint (or the parameter-shift expansion under
+    ``create_graph``).  This is the single graph entry point for
+    single-circuit layers — :class:`QuantumLayer.forward` is validation
+    plus this call.
+    """
+    precision = resolve_precision(precision)
+    inputs = None if x is None else np.asarray(x.data, dtype=precision.real)
+    track = is_grad_enabled() and (
+        weights.requires_grad or (x is not None and x.requires_grad)
+    )
+    outputs, cache = q_execute(
+        circuit,
+        inputs,
+        weights.data,
+        want_cache=track,
+        dtype=precision,
+        backend=backend,
+    )
+    if not track:
+        return Tensor(outputs)
+    args = (weights,) if x is None else (weights, x)
+    return tape_record(
+        _QEXEC,
+        outputs,
+        args,
+        {
+            "cache": cache,
+            "circuit": circuit,
+            "precision": precision,
+            "backend": backend,
+        },
+    )
 
 
 class QuantumLayer(Module):
@@ -102,57 +221,26 @@ class QuantumLayer(Module):
         graph: backward computes exact gradients for both the rotation
         weights and (when the circuit embeds inputs) the input features.
         """
-        inputs = None if x is None else np.asarray(x.data, dtype=self.precision.real)
-        if inputs is not None and inputs.shape[-1] != self.circuit.n_inputs:
-            if not (self.input_prefix and inputs.shape[-1] > self.circuit.n_inputs):
+        if x is not None and x.shape[-1] != self.circuit.n_inputs:
+            if not (self.input_prefix and x.shape[-1] > self.circuit.n_inputs):
                 hint = (
                     "; construct the layer with input_prefix=True to "
                     "deliberately feed the circuit a wider tensor's leading "
                     "columns"
-                    if inputs.shape[-1] > self.circuit.n_inputs
+                    if x.shape[-1] > self.circuit.n_inputs
                     else ""
                 )
                 raise ValueError(
                     f"circuit consumes {self.circuit.n_inputs} input "
-                    f"feature(s), got {inputs.shape[-1]}{hint}"
+                    f"feature(s), got {x.shape[-1]}{hint}"
                 )
-        track = is_grad_enabled() and (
-            self.weights.requires_grad or (x is not None and x.requires_grad)
-        )
-        outputs, cache = q_execute(
+        return quantum_execute(
             self.circuit,
-            inputs,
-            self.weights.data,
-            want_cache=track,
-            dtype=self.precision,
+            self.weights,
+            x,
+            precision=self.precision,
             backend=self.backend,
         )
-        out = Tensor(outputs)
-        if not track:
-            return out
-
-        out.requires_grad = True
-        parents = [self.weights]
-        if x is not None and x.requires_grad:
-            parents.append(x)
-        out._prev = tuple(parents)
-        weights_param = self.weights
-        circuit = self.circuit
-
-        def _backward() -> None:
-            grad_inputs, grad_weights = q_backward(cache, out.grad)
-            if weights_param.requires_grad:
-                weights_param._accumulate(grad_weights)
-            if x is not None and x.requires_grad and grad_inputs is not None:
-                if x.data.shape[1] > circuit.n_inputs:
-                    full = np.zeros_like(x.data)
-                    full[:, : circuit.n_inputs] = grad_inputs
-                    x._accumulate(full)
-                else:
-                    x._accumulate(grad_inputs)
-
-        out._backward = _backward
-        return out
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"QuantumLayer({self.circuit!r})"

@@ -25,6 +25,13 @@ kept as :func:`naive_execute` / :func:`naive_backward` — it is the
 reference the compiled engine is property-tested against, and the baseline
 the kernel benchmarks measure speedups from.
 
+These four entry points are also what the hybrid layers register as tape
+VJPs: :mod:`repro.qnn.qlayer` and :mod:`repro.qnn.patched` record
+executions as :class:`repro.nn.autodiff.Primitive` nodes whose first-order
+backward is :func:`backward` / :func:`backward_stacked` on the returned
+cache, making the quantum adjoint one more table entry in the classical
+autodiff registry.
+
 Both measurement types the paper uses are diagonal in the computational
 basis (Pauli-Z expectations and basis probabilities), so the cotangent seed
 is ``lambda = v * psi`` with ``v`` the gradient with respect to ``|psi_j|^2``.

@@ -207,14 +207,16 @@ class Trainer:
             )
 
 
+@no_grad()
 def evaluate_reconstruction(
     model: Autoencoder, data: ArrayDataset, batch_size: int = 32, dtype=None
 ) -> float:
     """Reconstruction MSE of ``model`` on ``data`` (posterior mean path).
 
-    ``dtype`` casts each batch to the policy's real dtype before encoding
-    (None follows the active policy); the squared error itself accumulates
-    in float64 either way.
+    Runs entirely untracked (``no_grad`` in decorator form — nothing here
+    needs a tape).  ``dtype`` casts each batch to the policy's real dtype
+    before encoding (None follows the active policy); the squared error
+    itself accumulates in float64 either way.
 
     The model's mode is restored on exit: every submodule gets back the
     ``training`` flag it entered with (an unconditional ``model.train()``
@@ -228,14 +230,13 @@ def evaluate_reconstruction(
     total = 0.0
     count = 0
     try:
-        with no_grad():
-            for start in range(0, len(data), batch_size):
-                batch = data.features[start : start + batch_size]
-                recon = model.decode(model.encode(Tensor(batch, dtype=real)))
-                total += float(
-                    ((recon.data.astype(np.float64) - batch) ** 2).sum()
-                )
-                count += batch.size
+        for start in range(0, len(data), batch_size):
+            batch = data.features[start : start + batch_size]
+            recon = model.decode(model.encode(Tensor(batch, dtype=real)))
+            total += float(
+                ((recon.data.astype(np.float64) - batch) ** 2).sum()
+            )
+            count += batch.size
     finally:
         for module, was_training in prior_modes:
             module.training = was_training
