@@ -24,7 +24,6 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
-import platform
 import subprocess
 import sys
 import time
@@ -33,6 +32,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_machine import machine_stamp  # noqa: E402
 
 _NAIVE_SUFFIX = "_naive"
 _C64_SUFFIX = "_c64"
@@ -274,8 +275,7 @@ def main(argv=None) -> int:
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "git_commit": git_commit(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        **machine_stamp(),
         "rounds": args.rounds,
         "threaded_workers": workers,
         "benchmarks": results,

@@ -8,8 +8,17 @@ Public surface::
 
 from . import autodiff
 from . import functional
+from . import graph
 from . import init
 from .autodiff import enable_grad, grad, hvp
+from .graph import (
+    GraphPlan,
+    clear_plan_cache,
+    plan_cache_stats,
+    set_tape_compile,
+    tape_compile,
+    tape_compile_enabled,
+)
 from .modules import (
     Identity,
     Lambda,
@@ -45,6 +54,13 @@ __all__ = [
     "autodiff",
     "grad",
     "hvp",
+    "graph",
+    "GraphPlan",
+    "tape_compile",
+    "tape_compile_enabled",
+    "set_tape_compile",
+    "plan_cache_stats",
+    "clear_plan_cache",
     "Module",
     "Parameter",
     "Linear",

@@ -16,6 +16,19 @@ pieces:
   quantum (:func:`backward_pass` for ``Tensor.backward``'s ``.grad``
   semantics, :func:`grad` for the functional interface).
 
+On top of the walk sits a *compile layer* (:mod:`repro.nn.graph`): since
+training steps re-record structurally identical tapes, both
+:func:`backward_pass` and the fast path of :func:`grad` consult a plan
+cache keyed on the tape's structural signature.  Step 1 lowers the tape
+into a flat backward program (flattened VJP dispatch, fused elementwise
+chains, reusable cotangent buffers); steps 2+ run the cached program.
+The walks in this module remain the *reference semantics* — the compiled
+program is bit-identical to them by construction and by differential
+test, and ``REPRO_TAPE_COMPILE=0`` (or ``tape_compile(False)``) routes
+everything back through them.  The ``create_graph`` walks never compile:
+they re-record VJPs onto a fresh tape, so each run is structurally new
+work by design.
+
 VJPs are *dual-mode*: the registry functions receive raw numpy arrays
 during an ordinary first-order backward (no wrapper overhead on the hot
 path) and :class:`~repro.nn.tensor.Tensor` operands when the walk runs
@@ -33,6 +46,8 @@ from __future__ import annotations
 import functools
 
 import numpy as np
+
+from . import graph as _graph
 
 __all__ = [
     "Primitive",
@@ -203,20 +218,30 @@ def topo_order(root) -> list:
     order: list = []
     visited: set[int] = set()
     stack: list[tuple] = [(root, False)]
+    pop = stack.pop
+    push = stack.append
+    seen = visited.__contains__
+    mark = visited.add
+    emit = order.append
     while stack:
-        t, processed = stack.pop()
+        t, processed = pop()
         if processed:
-            order.append(t)
+            emit(t)
             continue
-        if id(t) in visited:
+        ti = id(t)
+        if seen(ti):
             continue
-        visited.add(id(t))
-        stack.append((t, True))
+        mark(ti)
         node = t._node
-        if node is not None:
-            for __, parent in node.parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
+        if node is None:
+            # Leaves have no parents: emit directly, skipping the
+            # re-push/re-pop round-trip of the generic case.
+            emit(t)
+            continue
+        push((t, True))
+        for __, parent in node.parents:
+            if not seen(id(parent)):
+                push((parent, False))
     return order
 
 
@@ -228,33 +253,55 @@ def backward_pass(root, seed: np.ndarray, retain_graph: bool = False) -> None:
     accumulation happens through ``Tensor._accumulate`` (which owns the
     precision policy's grad dtype), and the graph is torn down afterwards
     unless ``retain_graph`` is set.
+
+    Intermediate cotangents are transient: each one is released the moment
+    its node's VJPs have consumed it, so only leaves carry a ``.grad``
+    after the walk and peak memory is bounded by the graph *frontier*, not
+    the whole tape.
+
+    When tape compilation is enabled (the default — see
+    :mod:`repro.nn.graph`), the walk body is replaced by a cached
+    :class:`~repro.nn.graph.GraphPlan` lowered from the tape's structure;
+    the interpreted loop below stays as the reference implementation the
+    plan is bit-identical to.
     """
+    if root._node is None:
+        # Leaf root: no graph to walk, the seed is the gradient.
+        root._accumulate(seed)
+        return
     order = topo_order(root)
     # Intermediate (non-leaf) gradients are not retained across backward
     # passes — mirror torch semantics so retain_graph reruns are correct.
     for t in order:
         if t._node is not None:
             t.grad = None
-    root._accumulate(seed)
-    for t in reversed(order):
-        node = t._node
-        if node is None or t.grad is None:
-            continue
-        g = t.grad
-        prim = node.prim
-        if prim.vjp_all is not None:
-            argnums = tuple(a for a, __ in node.parents)
-            grads = prim.vjp_all(g, t.data, node.vals, node.params, argnums)
-            for (__, parent), pg in zip(node.parents, grads):
-                if pg is not None and parent.requires_grad:
-                    parent._accumulate(pg)
-        else:
-            vjps = prim.vjps
-            for argnum, parent in node.parents:
-                if parent.requires_grad:
-                    parent._accumulate(
-                        vjps[argnum](g, t.data, node.vals, node.params)
-                    )
+    if _graph.tape_compile_enabled():
+        _graph.plan_for_backward(order).run_backward(order, seed)
+    else:
+        root._accumulate(seed)
+        for t in reversed(order):
+            node = t._node
+            if node is None or t.grad is None:
+                continue
+            g = t.grad
+            # Release on consume: this node's cotangent is dead once its
+            # VJPs have read ``g``.
+            t.grad = None
+            prim = node.prim
+            if prim.vjp_all is not None:
+                argnums = tuple(a for a, __ in node.parents)
+                grads = prim.vjp_all(g, t.data, node.vals, node.params,
+                                     argnums)
+                for (__, parent), pg in zip(node.parents, grads):
+                    if pg is not None and parent.requires_grad:
+                        parent._accumulate(pg)
+            else:
+                vjps = prim.vjps
+                for argnum, parent in node.parents:
+                    if parent.requires_grad:
+                        parent._accumulate(
+                            vjps[argnum](g, t.data, node.vals, node.params)
+                        )
     if not retain_graph:
         for t in order:
             t._node = None
@@ -366,6 +413,8 @@ def grad(
     tensor_cls = _tensor_cls()
     if create_graph:
         cot = _cotangent_walk(output, tensor_cls(seed), order, True)
+    elif _graph.tape_compile_enabled() and output._node is not None:
+        cot = _graph.plan_for_grad(order, targets).run_grad(order, seed)
     else:
         cot = _cotangent_walk(output, seed, order, False)
     if not retain:

@@ -26,11 +26,25 @@ Design notes
   every VJP is re-recorded through these same primitives).  That is what
   makes grad-of-grad — :func:`repro.nn.autodiff.hvp` — fall out of the
   design instead of needing a second implementation.
+* **Compiled backward plans.**  A recorded tape is pure structure —
+  primitive sequence, shapes, dtypes, wiring — so :mod:`repro.nn.graph`
+  lowers it once into a reusable backward program (flattened VJP
+  dispatch, fused single-consumer elementwise chains, preallocated
+  cotangent buffers) cached on a structural signature, exactly like the
+  quantum engine caches circuit plans.  ``Tensor.backward`` and the fast
+  path of :func:`repro.nn.autodiff.grad` consult that cache
+  automatically; training loops therefore lower on step 1 and run the
+  cached program from step 2 on.  The compiled program is bit-identical
+  to the interpreted walk; ``REPRO_TAPE_COMPILE=0`` (or
+  ``repro.nn.tape_compile(False)``) disables it.
 * Gradients follow numpy broadcasting: every op's VJP sums the upstream
   gradient back down to the operand's shape via :func:`_unbroadcast` (or
   its dual-mode twin ``_unb_any``).
 * The graph is dynamic (define-by-run) and torn down after ``backward``
-  unless ``retain_graph=True`` is passed.
+  unless ``retain_graph=True`` is passed.  Intermediate cotangents are
+  released as soon as their node is consumed — after ``backward`` only
+  leaves carry a ``.grad``, and peak backward memory is bounded by the
+  graph frontier rather than the whole tape.
 * Tensors are dtype-parameterized over the real dtypes of
   :mod:`repro.nn.precision` (``float32`` / ``float64``).  Explicit arrays
   keep their dtype; non-array data follows the active precision policy
@@ -183,6 +197,9 @@ def _record(prim: Primitive, data, args: tuple, params: dict = _EMPTY) -> "Tenso
     caller hands in the freshly-computed numpy result of the forward
     expression, so the full ``_as_array`` coercion ladder is skipped on the
     per-op hot path (only a dtype guard for numpy scalars/odd dtypes stays).
+    The one- and two-operand cases — every arithmetic dunder and
+    elementwise method — build their parent/operand tuples directly
+    instead of through ``enumerate`` comprehensions.
     """
     out = Tensor.__new__(Tensor)
     if data.__class__ is not np.ndarray or data.dtype not in _REAL_DTYPES:
@@ -193,13 +210,31 @@ def _record(prim: Primitive, data, args: tuple, params: dict = _EMPTY) -> "Tenso
     out._node = None
     out.name = ""
     if _GRAD_CELL[0]:
-        parents = [(i, a) for i, a in enumerate(args) if a.requires_grad]
-        if parents:
-            out.requires_grad = True
-            out._node = Node(
-                prim, args, tuple([a.data for a in args]), params,
-                tuple(parents),
-            )
+        n = len(args)
+        if n == 1:
+            a0 = args[0]
+            if a0.requires_grad:
+                out.requires_grad = True
+                out._node = Node(prim, args, (a0.data,), params, ((0, a0),))
+        elif n == 2:
+            a0, a1 = args
+            r0 = a0.requires_grad
+            r1 = a1.requires_grad
+            if r0 | r1:
+                out.requires_grad = True
+                out._node = Node(
+                    prim, args, (a0.data, a1.data), params,
+                    ((0, a0), (1, a1)) if r0 & r1
+                    else (((0, a0),) if r0 else ((1, a1),)),
+                )
+        else:
+            parents = [(i, a) for i, a in enumerate(args) if a.requires_grad]
+            if parents:
+                out.requires_grad = True
+                out._node = Node(
+                    prim, args, tuple([a.data for a in args]), params,
+                    tuple(parents),
+                )
     return out
 
 
@@ -570,7 +605,17 @@ class Tensor:
             return other
         arr = np.asarray(other)
         if arr.ndim == 0:
-            return Tensor(arr.astype(self.data.dtype))
+            # Scalar fast path: one allocating cast (same values as the
+            # ``astype`` it replaces) and a bare ``__new__`` — this runs
+            # once per ``tensor <op> constant``, so the full ``Tensor()``
+            # ladder is measurable overhead.
+            out = Tensor.__new__(Tensor)
+            out.data = np.array(arr, dtype=self.data.dtype)
+            out.grad = None
+            out.requires_grad = False
+            out._node = None
+            out.name = ""
+            return out
         return Tensor(arr)
 
     # ------------------------------------------------------------------
