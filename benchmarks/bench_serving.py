@@ -1,0 +1,122 @@
+"""Serving benchmarks: micro-batched throughput and latency vs flush window.
+
+Stands up a real :class:`repro.serving.GenerationService` over a saved
+ScalableQuantumVAE checkpoint (the paper's architecture — its stacked
+``(p * batch, 2**n)`` passes are what micro-batching exists to feed) and
+drives it with concurrent client threads issuing sample requests, exactly
+as the TCP front end would.  For each flush window the scenario records:
+
+* molecules/sec end-to-end throughput (wall clock over the whole swarm),
+* p50 / p99 per-request latency (the price a request pays for co-riders),
+* the batcher's mean batch size (how much fusion the window actually buys).
+
+``run_sequential`` is the baseline: one client, zero flush window — every
+request pays a full engine pass of its own.  The ratio of swarm throughput
+to sequential throughput is the number the serving layer exists to move.
+
+``run_serving.py`` sweeps the windows, stamps the payload via
+``bench_machine.py``, and enforces the floors in ``--check`` mode.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.models import ScalableQuantumVAE
+from repro.nn.serialization import save_module
+from repro.serving import GenerationService
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 6
+SAMPLES_PER_REQUEST = 4
+MOLECULES_PER_RUN = CLIENTS * REQUESTS_PER_CLIENT * SAMPLES_PER_REQUEST
+
+# Flush windows swept by run_serving.py (milliseconds).  0 still fuses
+# whatever backlog concurrency builds up; the positive windows trade
+# latency for guaranteed fusion.
+FLUSH_WINDOWS_MS = (0.0, 1.0, 2.0, 5.0)
+
+MODEL_SPEC = {"model": "sq-vae", "input_dim": 64, "n_patches": 4,
+              "n_layers": 1, "latent_dim": None, "seed": 0}
+
+
+@lru_cache(maxsize=1)
+def _checkpoint_path() -> str:
+    """A saved sq-vae checkpoint in a tmpdir (built once per process)."""
+    model = ScalableQuantumVAE(
+        input_dim=MODEL_SPEC["input_dim"],
+        n_patches=MODEL_SPEC["n_patches"],
+        n_layers=MODEL_SPEC["n_layers"],
+        rng=np.random.default_rng(MODEL_SPEC["seed"]),
+    )
+    directory = Path(tempfile.mkdtemp(prefix="repro-bench-serving-"))
+    return str(save_module(model, directory / "sq-vae", metadata=MODEL_SPEC))
+
+
+def run_scenario(flush_ms: float, *, clients: int = CLIENTS,
+                 requests_per_client: int = REQUESTS_PER_CLIENT,
+                 samples_per_request: int = SAMPLES_PER_REQUEST) -> dict:
+    """One serving run: ``clients`` threads, back-to-back sample requests.
+
+    Returns molecules/sec, per-request latency percentiles (ms), and the
+    batcher's fusion counters.
+    """
+    service = GenerationService(
+        default_checkpoint=_checkpoint_path(),
+        flush_window=flush_ms / 1000.0,
+        max_batch=64,
+        default_timeout=120.0,
+    )
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        mine = []
+        for index in range(requests_per_client):
+            started = time.perf_counter()
+            service.sample(samples_per_request,
+                           seed=client_id * 1000 + index)
+            mine.append(time.perf_counter() - started)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    stats = service.stats()["batcher"]
+    service.close()
+
+    molecules = clients * requests_per_client * samples_per_request
+    ordered = np.sort(latencies)
+    return {
+        "flush_ms": flush_ms,
+        "clients": clients,
+        "molecules": molecules,
+        "wall_s": round(wall, 6),
+        "molecules_per_sec": round(molecules / wall, 1),
+        "p50_latency_ms": round(float(np.percentile(ordered, 50)) * 1e3, 3),
+        "p99_latency_ms": round(float(np.percentile(ordered, 99)) * 1e3, 3),
+        "mean_batch_size": stats["mean_batch_size"],
+        "batch_size_max": stats["batch_size_max"],
+        "batches": stats["batches"],
+    }
+
+
+def run_sequential() -> dict:
+    """Baseline: the same request stream with no concurrency and no window."""
+    return run_scenario(
+        0.0, clients=1,
+        requests_per_client=CLIENTS * REQUESTS_PER_CLIENT,
+        samples_per_request=SAMPLES_PER_REQUEST,
+    )

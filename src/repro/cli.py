@@ -5,12 +5,32 @@ Subcommands::
     python -m repro.cli train   --model sq-vae --dataset pdbbind \\
                                 --samples 96 --epochs 4 --out runs/sq.npz
     python -m repro.cli sample  --checkpoint runs/sq.npz --count 20
+    python -m repro.cli serve   --checkpoint runs/sq.npz --port 7411
     python -m repro.cli stats   --dataset qm9 --samples 256
     python -m repro.cli draw    --model f-bq-ae
 
-``train`` checkpoints the model with enough metadata for ``sample`` to
-rebuild the same architecture; ``sample`` decodes prior noise into
-molecules and prints SMILES with QED / logP / SA scores.
+``train`` checkpoints the model with enough metadata for ``sample`` and
+``serve`` to rebuild the same architecture *at the same precision and
+kernel backend* (``--precision`` / ``--backend`` are recorded in the
+checkpoint); ``sample`` decodes prior noise into molecules and prints
+SMILES with QED / logP / SA scores.
+
+``serve`` stands up the micro-batching generation service
+(:mod:`repro.serving`) on a JSON-lines TCP socket.  Request lifecycle:
+a client connection sends one JSON object per line (``{"kind":
+"sample", "count": 8, "seed": 3}``, or ``encode`` with feature rows /
+``score`` with matrix stacks); the handler thread validates it, resolves
+the checkpoint through the warm :class:`~repro.serving.ModelRegistry`
+(deserialization and plan lowering are paid once per model, never per
+request), and enqueues it on the bounded micro-batch queue.  The worker
+thread accumulates concurrent requests for up to ``--flush-ms``
+milliseconds (or ``--max-batch`` requests), executes each model's group
+as ONE stacked engine pass, and splits the rows back per request; the
+handler writes the JSON response line.  A full queue answers
+``queue_full`` (backpressure) and a request that outlives ``--timeout``
+answers ``request_timeout`` — callers never hang.
+:class:`repro.serving.NetworkClient` speaks this protocol;
+:class:`repro.serving.Client` gives the same API in process.
 """
 
 from __future__ import annotations
@@ -33,17 +53,15 @@ from .data import (
     train_test_split,
 )
 from .evaluation.sampling import sample_batch
-from .models import (
-    ClassicalAE,
-    ClassicalVAE,
-    FullyQuantumAE,
-    FullyQuantumVAE,
-    HybridQuantumAE,
-    HybridQuantumVAE,
-    ScalableQuantumAE,
-    ScalableQuantumVAE,
+from .models import MODEL_CHOICES, build_from_metadata, build_model
+from .nn.precision import resolve_precision
+from .nn.serialization import (
+    load_module,
+    read_checkpoint_metadata,
+    resolve_checkpoint_path,
+    save_module,
 )
-from .nn.serialization import load_module, save_module
+from .quantum.backends import available_backends, resolve_backend, use_backend
 from .training import TrainConfig, Trainer
 
 __all__ = ["main"]
@@ -57,43 +75,46 @@ _DATASETS = {
 
 _MOLECULE_DATASETS = {"qm9", "pdbbind"}
 
+# Per-patch statevector size the draw command renders sq models at:
+# 16 features -> 4 qubits per patch, matching the 64-feature/4-patch
+# default shape whatever --patches is.
+_DRAW_PATCH_FEATURES = 16
 
-def _build_model(name: str, input_dim: int, n_patches: int, n_layers: int,
-                 latent_dim: int, seed: int):
-    rng = np.random.default_rng(seed)
-    builders = {
-        "ae": lambda: ClassicalAE(input_dim=input_dim, latent_dim=latent_dim,
-                                  rng=rng),
-        "vae": lambda: ClassicalVAE(input_dim=input_dim, latent_dim=latent_dim,
-                                    rng=rng, noise_seed=seed),
-        "f-bq-ae": lambda: FullyQuantumAE(input_dim=input_dim,
-                                          n_layers=n_layers, rng=rng),
-        "f-bq-vae": lambda: FullyQuantumVAE(input_dim=input_dim,
-                                            n_layers=n_layers, rng=rng,
-                                            noise_seed=seed),
-        "h-bq-ae": lambda: HybridQuantumAE(input_dim=input_dim,
-                                           n_layers=n_layers, rng=rng),
-        "h-bq-vae": lambda: HybridQuantumVAE(input_dim=input_dim,
-                                             n_layers=n_layers, rng=rng,
-                                             noise_seed=seed),
-        "sq-ae": lambda: ScalableQuantumAE(input_dim=input_dim,
-                                           n_patches=n_patches,
-                                           n_layers=n_layers, rng=rng),
-        "sq-vae": lambda: ScalableQuantumVAE(input_dim=input_dim,
-                                             n_patches=n_patches,
-                                             n_layers=n_layers, rng=rng,
-                                             noise_seed=seed),
-    }
+
+def _positive_int(value: str) -> int:
+    """argparse type for flags that must be a positive integer.
+
+    Raising ``ArgumentTypeError`` makes argparse exit with a clear
+    message naming the flag (``argument --samples: expected a positive
+    integer, got '0'``) instead of the deep traceback a zero batch size
+    or sample count used to surface as.
+    """
     try:
-        return builders[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown model {name!r}; choose from {sorted(builders)}"
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
         ) from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}"
+        )
+    return number
 
 
-MODEL_CHOICES = ("ae", "vae", "f-bq-ae", "f-bq-vae", "h-bq-ae", "h-bq-vae",
-                 "sq-ae", "sq-vae")
+def _positive_float(value: str) -> float:
+    """argparse type for strictly positive float flags."""
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value!r}"
+        ) from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value!r}"
+        )
+    return number
 
 
 def _load_dataset(name: str, n_samples: int, seed: int):
@@ -108,15 +129,15 @@ def _cmd_train(args) -> int:
     train, test = train_test_split(data, test_fraction=0.15, seed=args.seed)
     default_layers = 5 if args.model.startswith("sq") else 3
     n_layers = args.layers if args.layers else default_layers
-    model = _build_model(args.model, input_dim, args.patches, n_layers,
-                         args.latent, args.seed)
+    model = build_model(args.model, input_dim, args.patches, n_layers,
+                        args.latent, args.seed, dtype=args.precision)
     if args.warm_start_bias:
         model.init_output_bias(train.features.mean(axis=0))
 
     config = TrainConfig(
         epochs=args.epochs, batch_size=args.batch_size,
         quantum_lr=args.quantum_lr, classical_lr=args.classical_lr,
-        seed=args.seed,
+        seed=args.seed, precision=args.precision, backend=args.backend,
     )
     trainer = Trainer(model, config)
     history = trainer.fit(train, test_data=test)
@@ -133,6 +154,11 @@ def _cmd_train(args) -> int:
             "latent_dim": args.latent,
             "dataset": args.dataset,
             "seed": args.seed,
+            # Execution-semantics fields: sample/serve rebuild the model
+            # with the *recorded* dtype and kernel backend, so a float32
+            # training run round-trips as a float32 module.
+            "precision": resolve_precision(args.precision).name,
+            "backend": args.backend,
             "final_train_loss": history.final_train_loss,
         }
         path = save_module(model, args.out, metadata=metadata)
@@ -140,20 +166,20 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_sample(args) -> int:
-    # Rebuild the architecture from checkpoint metadata, then load weights.
-    import json
-    from pathlib import Path
+def _resolve_checkpoint(argument: str):
+    """Resolve a CLI checkpoint argument or exit naming the probed path."""
+    try:
+        return resolve_checkpoint_path(argument)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
 
-    path = Path(args.checkpoint)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    if not path.exists():
-        raise SystemExit(f"checkpoint not found: {path}")
-    with np.load(path) as archive:
-        meta = json.loads(bytes(archive["__repro_meta__"]).decode("utf-8"))
-    model = _build_model(meta["model"], meta["input_dim"], meta["n_patches"],
-                         meta["n_layers"], meta["latent_dim"], meta["seed"])
+
+def _cmd_sample(args) -> int:
+    # Rebuild the architecture from checkpoint metadata — at the recorded
+    # precision — then load weights and scope the recorded backend.
+    path = _resolve_checkpoint(args.checkpoint)
+    meta = read_checkpoint_metadata(path)
+    model = build_from_metadata(meta)
     load_module(model, path)
     if not model.is_variational:
         raise SystemExit(
@@ -163,8 +189,17 @@ def _cmd_sample(args) -> int:
 
     # Decode, repair, and score the whole sample set on the batched
     # substrate (values identical to the per-molecule scorers).
-    batch = sample_batch(model, args.count, np.random.default_rng(args.seed))
+    backend = meta.get("backend")
+    with use_backend(resolve_backend(backend)):
+        batch = sample_batch(model, args.count,
+                             np.random.default_rng(args.seed))
     kept = [m for m in sanitize_batch(batch) if m.num_atoms]
+    if not kept:
+        # Nothing decoded to a usable molecule: skip the scorers and the
+        # table header, report cleanly, and exit 0 (an undertrained model
+        # is not a CLI failure).
+        print(f"0/{args.count} samples decoded to usable molecules")
+        return 0
     kept_batch = MoleculeBatch.from_molecules(kept)
     table = default_fragment_table()
     qed_values = qed_batch(kept_batch)
@@ -180,6 +215,39 @@ def _cmd_sample(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serving import GenerationServer, GenerationService
+
+    _resolve_checkpoint(args.checkpoint)
+    service = GenerationService(
+        default_checkpoint=args.checkpoint,
+        flush_window=args.flush_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        default_timeout=args.timeout,
+    )
+    server = GenerationServer((args.host, args.port), service,
+                              max_requests=args.max_requests)
+    host, port = server.server_address[:2]
+    print(f"serving {args.checkpoint} on {host}:{port} "
+          f"(flush {args.flush_ms:g} ms, max batch {args.max_batch}, "
+          f"queue {args.max_queue})")
+    if args.ready_file:
+        # Readiness handshake for supervisors and tests: the bound
+        # address appears in the file only once the socket is listening.
+        from pathlib import Path
+
+        Path(args.ready_file).write_text(f"{host} {port}\n")
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def _cmd_stats(args) -> int:
     if args.dataset not in _MOLECULE_DATASETS:
         raise SystemExit("stats requires a molecule dataset (qm9 or pdbbind)")
@@ -191,8 +259,17 @@ def _cmd_stats(args) -> int:
 def _cmd_draw(args) -> int:
     from .quantum import draw
 
-    model = _build_model(args.model, 64 if not args.model.startswith("sq")
-                         else 64, args.patches, args.layers or 3, 6, args.seed)
+    # sq models patch the input: give them an input dim consistent with
+    # --patches (patches x 16-feature patches -> 4 qubits per patch);
+    # the non-patched models keep the 64-feature default.  (This used to
+    # be a dead `64 if ... else 64` that drew 8-patch models with
+    # 8-feature patches.)
+    if args.model.startswith("sq"):
+        input_dim = _DRAW_PATCH_FEATURES * args.patches
+    else:
+        input_dim = 64
+    model = build_model(args.model, input_dim, args.patches,
+                        args.layers or 3, 6, args.seed)
     if hasattr(model, "encoder_q"):
         encoder = model.encoder_q
         circuit = (encoder.patches[0].circuit
@@ -212,15 +289,24 @@ def main(argv: list[str] | None = None) -> int:
     train = sub.add_parser("train", help="train an autoencoder")
     train.add_argument("--model", choices=MODEL_CHOICES, required=True)
     train.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
-    train.add_argument("--samples", type=int, default=96)
-    train.add_argument("--epochs", type=int, default=4)
-    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--samples", type=_positive_int, default=96)
+    train.add_argument("--epochs", type=_positive_int, default=4)
+    train.add_argument("--batch-size", type=_positive_int, default=32)
     train.add_argument("--quantum-lr", type=float, default=0.03)
     train.add_argument("--classical-lr", type=float, default=0.01)
-    train.add_argument("--patches", type=int, default=4)
+    train.add_argument("--patches", type=_positive_int, default=4)
     train.add_argument("--layers", type=int, default=0,
                        help="entangling layers (0 = architecture default)")
-    train.add_argument("--latent", type=int, default=6)
+    train.add_argument("--latent", type=_positive_int, default=6)
+    train.add_argument("--precision",
+                       choices=("float64", "float32", "mixed32"),
+                       default=None,
+                       help="model + training precision policy (recorded "
+                            "in the checkpoint; default float64)")
+    train.add_argument("--backend", choices=sorted(available_backends()),
+                       default=None,
+                       help="kernel backend for the run (recorded in the "
+                            "checkpoint; default numpy)")
     train.add_argument("--normalize", action="store_true",
                        help="L1-normalize features (F-BQ models need this)")
     train.add_argument("--warm-start-bias", action="store_true")
@@ -230,21 +316,42 @@ def main(argv: list[str] | None = None) -> int:
 
     sample = sub.add_parser("sample", help="sample molecules from a checkpoint")
     sample.add_argument("--checkpoint", required=True)
-    sample.add_argument("--count", type=int, default=10)
+    sample.add_argument("--count", type=_positive_int, default=10)
     sample.add_argument("--seed", type=int, default=0)
     sample.set_defaults(func=_cmd_sample)
 
+    serve = sub.add_parser(
+        "serve", help="micro-batching generation service over TCP"
+    )
+    serve.add_argument("--checkpoint", required=True)
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="TCP port (0 = let the OS pick)")
+    serve.add_argument("--flush-ms", type=_positive_float, default=5.0,
+                       help="micro-batch flush window in milliseconds")
+    serve.add_argument("--max-batch", type=_positive_int, default=64,
+                       help="max requests fused into one stacked pass")
+    serve.add_argument("--max-queue", type=_positive_int, default=256,
+                       help="pending-request bound (backpressure)")
+    serve.add_argument("--timeout", type=_positive_float, default=30.0,
+                       help="per-request timeout in seconds")
+    serve.add_argument("--max-requests", type=int, default=0,
+                       help="shut down after N requests (0 = serve forever)")
+    serve.add_argument("--ready-file", type=str, default="",
+                       help="write 'host port' here once listening")
+    serve.set_defaults(func=_cmd_serve)
+
     stats = sub.add_parser("stats", help="dataset composition statistics")
     stats.add_argument("--dataset", choices=sorted(_DATASETS), required=True)
-    stats.add_argument("--samples", type=int, default=128)
+    stats.add_argument("--samples", type=_positive_int, default=128)
     stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_cmd_stats)
 
     drawcmd = sub.add_parser("draw", help="ASCII-draw a model's encoder circuit")
     drawcmd.add_argument("--model", choices=MODEL_CHOICES, default="f-bq-ae")
-    drawcmd.add_argument("--patches", type=int, default=4)
+    drawcmd.add_argument("--patches", type=_positive_int, default=4)
     drawcmd.add_argument("--layers", type=int, default=0)
-    drawcmd.add_argument("--columns", type=int, default=12)
+    drawcmd.add_argument("--columns", type=_positive_int, default=12)
     drawcmd.add_argument("--seed", type=int, default=0)
     drawcmd.set_defaults(func=_cmd_draw)
 

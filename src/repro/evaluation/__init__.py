@@ -19,6 +19,9 @@ from .reconstruction import (
     reconstruction_report,
 )
 from .sampling import (
+    decode_latents,
+    matrix_size,
+    prior_latents,
     sample_and_score,
     sample_batch,
     sample_matrices,
@@ -31,6 +34,9 @@ __all__ = [
     "reconstruct_samples",
     "reconstruction_report",
     "molecule_reconstruction_report",
+    "matrix_size",
+    "prior_latents",
+    "decode_latents",
     "sample_matrices",
     "sample_batch",
     "sample_molecules",

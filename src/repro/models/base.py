@@ -83,7 +83,10 @@ class Autoencoder(Module):
         bias = self.output_bias()
         if bias is None:
             return False
-        mean = np.asarray(mean, dtype=np.float64)
+        # Cast to the parameter's own dtype: float64 feature means must not
+        # silently widen a float32-built model (the checkpoint would then
+        # record mixed widths and the sample path would warn on reload).
+        mean = np.asarray(mean, dtype=bias.data.dtype)
         if mean.shape != bias.data.shape:
             raise ValueError(
                 f"mean shape {mean.shape} != bias shape {bias.data.shape}"

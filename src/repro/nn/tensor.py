@@ -759,9 +759,14 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         inverse = tuple(int(i) for i in np.argsort(axes))
+        # Materialize contiguously: BLAS picks different (1-ulp different)
+        # GEMM kernels for strided operands depending on the *other*
+        # operand's row count, so ``x @ W.T`` on a transposed view is not
+        # row-count-independent.  Serving stacks requests into one pass
+        # and must return bit-identical rows to per-request execution.
         return _record(
             _transpose_p,
-            self.data.transpose(axes),
+            np.ascontiguousarray(self.data.transpose(axes)),
             (self,),
             {"inverse": inverse},
         )

@@ -1,0 +1,47 @@
+"""High-throughput generation service: micro-batched serving over warm models.
+
+Production framing for the ROADMAP's "millions of users" north star: the
+engine's stacked ``(p * batch, 2**n)`` substrate executes one big pass as
+cheaply per row as many small ones, so the serving layer's whole job is
+to *make* big passes out of concurrent small requests:
+
+* :class:`ModelRegistry` — warm LRU cache of deserialized checkpoints
+  (rebuilt at their recorded precision) with circuit/graph plans
+  pre-lowered, keyed by parameter fingerprint + execution metadata;
+* :class:`MicroBatcher` — bounded-queue worker that accumulates requests
+  into micro-batches under a max-latency flush window, with per-request
+  timeouts and backpressure instead of hangs;
+* :class:`GenerationService` — sample / encode / score over both,
+  batches split back per request;
+* :class:`Client` / :class:`NetworkClient` — in-process and JSON-lines
+  TCP clients (the latter pairs with ``python -m repro.cli serve``).
+"""
+
+from .batcher import (
+    BatcherStats,
+    MicroBatcher,
+    QueueFull,
+    RequestTimeout,
+    ServiceClosed,
+    ServingError,
+)
+from .client import Client, NetworkClient
+from .registry import ModelEntry, ModelRegistry
+from .server import GenerationServer
+from .service import GenerationService, per_molecule_scores
+
+__all__ = [
+    "ServingError",
+    "QueueFull",
+    "RequestTimeout",
+    "ServiceClosed",
+    "BatcherStats",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "GenerationService",
+    "GenerationServer",
+    "per_molecule_scores",
+    "Client",
+    "NetworkClient",
+]

@@ -1,0 +1,139 @@
+"""JSON-lines TCP front end for :class:`GenerationService`.
+
+The wire protocol is deliberately tiny and dependency-free: one JSON
+object per line in each direction, arrays as nested lists.  Requests::
+
+    {"kind": "sample", "count": 8, "seed": 3}
+    {"kind": "encode", "features": [[...], ...]}
+    {"kind": "score", "matrices": [[[...], ...], ...]}
+    {"kind": "ping"} / {"kind": "stats"}
+
+Responses carry ``{"ok": true, ...}`` with the result fields, or
+``{"ok": false, "error": <name>, "message": <text>}`` where ``error`` is
+one of ``queue_full`` / ``request_timeout`` / ``service_closed`` /
+``bad_request`` / ``error`` — :class:`repro.serving.client.NetworkClient`
+maps these back onto the :class:`ServingError` hierarchy.
+
+Each connection gets its own handler thread
+(``socketserver.ThreadingTCPServer``), so concurrent connections submit
+concurrently and the :class:`MicroBatcher` fuses their requests into
+stacked passes — the TCP layer is just transport, all batching lives in
+the service.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+import numpy as np
+
+from .batcher import QueueFull, RequestTimeout, ServiceClosed
+
+__all__ = ["GenerationServer"]
+
+
+def _error_name(exc: Exception) -> str:
+    if isinstance(exc, QueueFull):
+        return "queue_full"
+    if isinstance(exc, RequestTimeout):
+        return "request_timeout"
+    if isinstance(exc, ServiceClosed):
+        return "service_closed"
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return "bad_request"
+    return "error"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):  # pragma: no cover - exercised via live sockets
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": "bad_request",
+                            "message": f"invalid JSON: {exc}"}
+            else:
+                response = self.server.dispatch(message)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if self.server.count_request():
+                return
+
+
+class GenerationServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server delegating every request to one service.
+
+    ``max_requests > 0`` shuts the server down after serving that many
+    requests (pings included) — used by tests and smoke runs to give
+    ``serve`` a finite lifetime.  Bind to port 0 to let the OS pick; the
+    bound address is ``server_address``.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service,
+                 max_requests: int = 0):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.max_requests = max_requests
+        self._served = 0
+        self._count_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def dispatch(self, message: dict) -> dict:
+        kind = message.get("kind")
+        try:
+            if kind == "ping":
+                return {"ok": True}
+            if kind == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            if kind == "sample":
+                matrices = self.service.sample(
+                    int(message["count"]), seed=int(message.get("seed", 0)),
+                    checkpoint=message.get("checkpoint"),
+                )
+                return {"ok": True, "matrices": matrices.tolist()}
+            if kind == "encode":
+                latents = self.service.encode(
+                    np.asarray(message["features"], dtype=np.float64),
+                    checkpoint=message.get("checkpoint"),
+                )
+                return {"ok": True, "latents": latents.tolist()}
+            if kind == "score":
+                scores = self.service.score(
+                    np.asarray(message["matrices"], dtype=np.float64)
+                )
+                return {
+                    "ok": True,
+                    "usable": scores["usable"].tolist(),
+                    "qed": scores["qed"].tolist(),
+                    "logp": scores["logp"].tolist(),
+                    "sa": scores["sa"].tolist(),
+                }
+            raise ValueError(f"unknown request kind {kind!r}")
+        except Exception as exc:  # noqa: BLE001 - every failure goes on the wire
+            return {"ok": False, "error": _error_name(exc),
+                    "message": str(exc)}
+
+    def count_request(self) -> bool:
+        """Count one served request; True when the lifetime budget is spent.
+
+        The shutdown is kicked off from a helper thread because
+        ``shutdown()`` blocks until ``serve_forever`` returns — calling it
+        from a handler thread of the same server would deadlock the
+        handler ``serve_forever`` is joining on.
+        """
+        if self.max_requests <= 0:
+            return False
+        with self._count_lock:
+            self._served += 1
+            spent = self._served >= self.max_requests
+        if spent:
+            threading.Thread(target=self.shutdown, daemon=True).start()
+        return spent

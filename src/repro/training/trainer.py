@@ -138,6 +138,14 @@ class Trainer:
     ) -> History:
         config = self.config
         real = self.precision.real
+        # The patience counter only ever advances on test losses; without
+        # test data it was silently ignored and training ran every epoch.
+        if config.early_stop_patience is not None and test_data is None:
+            raise ValueError(
+                f"early_stop_patience={config.early_stop_patience} requires "
+                "test_data: the patience counter advances on per-epoch test "
+                "losses, so without a test set it would silently never stop"
+            )
         loader = DataLoader(
             train_data,
             batch_size=config.batch_size,

@@ -44,3 +44,17 @@ def test_float32_knob_reaches_every_parameter(factory):
     out = model(Tensor(x, dtype=np.float32))
     assert out.reconstruction.data.dtype == np.float32
     assert out.latent.data.dtype == np.float32
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_warm_start_bias_keeps_parameter_dtype(factory):
+    # init_output_bias used to cast the float64 feature mean straight into
+    # the bias, silently widening float32 models (the checkpoint then
+    # recorded mixed widths and reloading warned of a dtype mismatch).
+    model = factory()
+    if not model.init_output_bias(
+        np.random.default_rng(2).normal(size=16).astype(np.float64)
+    ):
+        pytest.skip("model has no classical output bias")
+    for name, param in model.named_parameters():
+        assert param.data.dtype == np.float32, name

@@ -1,0 +1,174 @@
+"""Tests for the JSON-lines TCP front end and its network client."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models import ClassicalAE, ClassicalVAE
+from repro.nn import save_module
+from repro.serving import (
+    GenerationServer,
+    GenerationService,
+    NetworkClient,
+    ServingError,
+    per_molecule_scores,
+)
+
+
+@pytest.fixture(scope="module")
+def vae_checkpoint(tmp_path_factory):
+    model = ClassicalVAE(input_dim=64, latent_dim=6,
+                         rng=np.random.default_rng(0))
+    return save_module(
+        model, tmp_path_factory.mktemp("srv") / "vae",
+        metadata={"model": "vae", "input_dim": 64, "n_patches": 4,
+                  "n_layers": 3, "latent_dim": 6, "seed": 0},
+    )
+
+
+@pytest.fixture()
+def server(vae_checkpoint):
+    service = GenerationService(default_checkpoint=vae_checkpoint,
+                                flush_window=0.002)
+    srv = GenerationServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=srv.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+
+def client_for(server):
+    host, port = server.server_address[:2]
+    return NetworkClient(host, port, timeout=30.0)
+
+
+class TestWireProtocol:
+    def test_ping(self, server):
+        with client_for(server) as client:
+            assert client.ping()
+
+    def test_sample_matches_in_process(self, server, vae_checkpoint):
+        with client_for(server) as client:
+            over_wire = client.sample(4, seed=8)
+        entry = server.service.registry.load(vae_checkpoint)
+        direct = server.service.sample(4, seed=8)
+        assert over_wire.shape == (4, 8, 8)
+        # JSON round-trips float64 exactly (repr-based), so even the wire
+        # path preserves plain equality.
+        assert (over_wire == direct).all()
+        assert entry.matrix_size() == 8
+
+    def test_encode_round_trip(self, server):
+        features = np.random.default_rng(1).normal(size=(3, 64))
+        with client_for(server) as client:
+            latents = client.encode(features)
+        assert (latents == server.service.encode(features)).all()
+
+    def test_score_round_trip(self, server):
+        matrices = np.random.default_rng(2).uniform(size=(3, 8, 8))
+        with client_for(server) as client:
+            scores = client.score(matrices)
+        expected = per_molecule_scores(matrices)
+        for name in expected:
+            assert (scores[name] == expected[name]).all()
+
+    def test_stats_over_wire(self, server):
+        with client_for(server) as client:
+            client.sample(2, seed=0)
+            stats = client.stats()
+        assert stats["models"] == 1
+        assert stats["batcher"]["requests"] >= 1
+
+    def test_multiple_requests_per_connection(self, server):
+        with client_for(server) as client:
+            first = client.sample(2, seed=1)
+            second = client.sample(2, seed=1)
+        assert (first == second).all()
+
+    def test_concurrent_connections_micro_batch(self, server):
+        results = {}
+
+        def one(seed):
+            with client_for(server) as client:
+                results[seed] = client.sample(3, seed=seed)
+
+        threads = [threading.Thread(target=one, args=(s,)) for s in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for seed in range(5):
+            assert (results[seed] == server.service.sample(3, seed=seed)).all()
+
+
+class TestWireErrors:
+    def test_unknown_kind_is_bad_request(self, server):
+        with client_for(server) as client:
+            with pytest.raises(ServingError, match="unknown request kind"):
+                client._request({"kind": "teleport"})
+
+    def test_bad_shape_is_bad_request(self, server):
+        with client_for(server) as client:
+            with pytest.raises(ServingError, match="matrix stack"):
+                client.score(np.zeros((2, 8, 9)))
+
+    def test_invalid_json_reported_not_fatal(self, server):
+        with client_for(server) as client:
+            client._file.write("this is not json\n")
+            client._file.flush()
+            import json
+
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"] == "bad_request"
+            assert client.ping()  # connection survives
+
+    def test_sample_from_plain_ae_maps_to_bad_request(self, tmp_path):
+        path = save_module(
+            ClassicalAE(input_dim=64, latent_dim=6,
+                        rng=np.random.default_rng(0)),
+            tmp_path / "ae",
+            metadata={"model": "ae", "input_dim": 64, "n_patches": 4,
+                      "n_layers": 3, "latent_dim": 6, "seed": 0},
+        )
+        service = GenerationService(default_checkpoint=path)
+        srv = GenerationServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        try:
+            with client_for(srv) as client:
+                with pytest.raises(ServingError,
+                                   match="vanilla autoencoder"):
+                    client.sample(2)
+        finally:
+            srv.shutdown()
+            srv.server_close()
+            service.close()
+            thread.join(timeout=5.0)
+
+
+class TestLifetime:
+    def test_max_requests_shuts_the_server_down(self, vae_checkpoint):
+        service = GenerationService(default_checkpoint=vae_checkpoint,
+                                    flush_window=0.002)
+        srv = GenerationServer(("127.0.0.1", 0), service, max_requests=3)
+        thread = threading.Thread(target=srv.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        try:
+            with client_for(srv) as client:
+                for __ in range(3):  # pings count toward the budget
+                    client.ping()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        finally:
+            srv.server_close()
+            service.close()

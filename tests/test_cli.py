@@ -94,6 +94,141 @@ class TestSample:
         with pytest.raises(SystemExit):
             main(["sample", "--checkpoint", str(path)])
 
+    def test_all_empty_decode_reports_cleanly(self, checkpoint, capsys,
+                                              monkeypatch):
+        # An undertrained model can decode every draw to an empty molecule;
+        # that used to crash the scorers mid-table.  Now: clean 0/N, exit 0.
+        import repro.cli as cli
+        from repro.chem.batch import MoleculeBatch
+
+        monkeypatch.setattr(
+            cli, "sample_batch",
+            lambda model, n, rng: MoleculeBatch.from_matrices(
+                np.zeros((n, 8, 8))
+            ),
+        )
+        code = main(["sample", "--checkpoint", str(checkpoint),
+                     "--count", "7"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "0/7 samples decoded to usable molecules" in output
+        assert "QED" not in output  # no orphaned table header
+
+
+class TestPrecisionBackendRoundTrip:
+    def test_float32_training_round_trips_through_sample(self, tmp_path,
+                                                         capsys,
+                                                         recwarn):
+        from repro.nn.serialization import read_checkpoint_metadata
+
+        path = tmp_path / "vae32.npz"
+        assert main([
+            "train", "--model", "vae", "--dataset", "qm9", "--samples", "32",
+            "--epochs", "1", "--batch-size", "16", "--precision", "float32",
+            "--backend", "numpy", "--warm-start-bias", "--out", str(path),
+        ]) == 0
+        meta = read_checkpoint_metadata(path)
+        assert meta["precision"] == "float32"
+        assert meta["backend"] == "numpy"
+        # Sampling rebuilds the module at the recorded dtype, so the
+        # width-mismatch warning must not fire.
+        assert main(["sample", "--checkpoint", str(path), "--count", "3"]) == 0
+        assert not [w for w in recwarn
+                    if "parameters but the module was built"
+                    in str(w.message)]
+        capsys.readouterr()
+
+    def test_mismatched_manual_rebuild_warns(self, tmp_path):
+        # Loading a float32 checkpoint into a float64-built module is the
+        # legacy failure mode; it now names both dtypes.
+        from repro.models import build_model
+        from repro.nn.serialization import load_module, save_module
+
+        source = build_model("vae", 64, 4, 3, 6, 0, dtype="float32")
+        path = save_module(source, tmp_path / "w32")
+        wide = build_model("vae", 64, 4, 3, 6, 1)
+        with pytest.warns(UserWarning, match=r"float32 parameters but the "
+                                             r"module was built float64"):
+            load_module(wide, path)
+
+
+class TestServe:
+    def test_serve_answers_over_tcp_then_exits(self, tmp_path, capsys):
+        import threading
+        import time
+
+        from repro.serving import NetworkClient
+
+        ckpt = tmp_path / "vae.npz"
+        main(["train", "--model", "vae", "--dataset", "qm9", "--samples",
+              "32", "--epochs", "1", "--batch-size", "16",
+              "--out", str(ckpt)])
+        capsys.readouterr()
+
+        ready = tmp_path / "ready.txt"
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(main([
+                "serve", "--checkpoint", str(ckpt), "--port", "0",
+                "--flush-ms", "2", "--max-requests", "4",
+                "--ready-file", str(ready),
+            ])),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        host, port = ready.read_text().split()
+
+        with NetworkClient(host, int(port)) as client:
+            assert client.ping()
+            matrices = client.sample(3, seed=1)
+            assert matrices.shape == (3, 8, 8)
+            assert client.stats()["batcher"]["requests"] >= 1
+            client.ping()  # 4th request spends the lifetime budget
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert "serving" in capsys.readouterr().out
+
+    def test_serve_missing_checkpoint_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "gone.npz"
+        with pytest.raises(SystemExit,
+                           match=f"checkpoint not found: {missing}"):
+            main(["serve", "--checkpoint", str(missing), "--port", "0"])
+
+
+class TestFlagValidation:
+    """Non-positive numeric flags exit with a message naming the flag."""
+
+    @pytest.mark.parametrize("argv, flag", [
+        (["train", "--model", "vae", "--dataset", "qm9",
+          "--samples", "0"], "--samples"),
+        (["train", "--model", "vae", "--dataset", "qm9",
+          "--epochs", "-3"], "--epochs"),
+        (["train", "--model", "vae", "--dataset", "qm9",
+          "--batch-size", "0"], "--batch-size"),
+        (["train", "--model", "vae", "--dataset", "qm9",
+          "--patches", "-1"], "--patches"),
+        (["train", "--model", "vae", "--dataset", "qm9",
+          "--latent", "0"], "--latent"),
+        (["sample", "--checkpoint", "x.npz", "--count", "0"], "--count"),
+        (["sample", "--checkpoint", "x.npz", "--count", "two"], "--count"),
+        (["stats", "--dataset", "qm9", "--samples", "-5"], "--samples"),
+        (["draw", "--model", "sq-ae", "--patches", "0"], "--patches"),
+        (["serve", "--checkpoint", "x.npz", "--max-batch", "0"],
+         "--max-batch"),
+        (["serve", "--checkpoint", "x.npz", "--flush-ms", "-1"],
+         "--flush-ms"),
+    ])
+    def test_rejected_with_flag_named(self, argv, flag, capsys):
+        with pytest.raises(SystemExit):
+            main(argv)
+        err = capsys.readouterr().err
+        assert f"argument {flag}" in err
+        assert "expected a positive" in err
+
 
 class TestStatsAndDraw:
     def test_stats_qm9(self, capsys):
@@ -114,6 +249,15 @@ class TestStatsAndDraw:
         assert main(["draw", "--model", "sq-ae", "--patches", "2",
                      "--layers", "1"]) == 0
         assert "0:" in capsys.readouterr().out
+
+    def test_draw_sq_patches_8_gets_consistent_input_dim(self, capsys):
+        # The input dim used to be a dead `64 if ... else 64`, which gave
+        # an 8-patch model 8-feature patches; patches are 16-feature (4
+        # qubits) regardless of --patches now.
+        assert main(["draw", "--model", "sq-ae", "--patches", "8",
+                     "--layers", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "0:" in output and "3:" in output  # 4 wires per patch
 
     def test_draw_classical_rejected(self):
         with pytest.raises(SystemExit):

@@ -77,12 +77,21 @@ class TestTrainerExtras:
         assert len(history.epochs) < 50
 
     def test_early_stopping_needs_test_data(self):
-        # Without test data the patience setting is inert, not an error.
+        # Patience without test data used to be silently inert (the run
+        # trained every epoch); now it is a clear configuration error.
         data = toy_data(seed=3)
         model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
                             rng=np.random.default_rng(4))
         config = TrainConfig(epochs=3, batch_size=8, early_stop_patience=1)
-        history = Trainer(model, config).fit(data)
+        with pytest.raises(ValueError, match="early_stop_patience=1 requires"):
+            Trainer(model, config).fit(data)
+
+    def test_early_stopping_with_test_data_still_runs(self):
+        data = toy_data(seed=3)
+        model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(8,),
+                            rng=np.random.default_rng(4))
+        config = TrainConfig(epochs=3, batch_size=8, early_stop_patience=5)
+        history = Trainer(model, config).fit(data, test_data=toy_data(seed=9))
         assert len(history.epochs) == 3
 
 
