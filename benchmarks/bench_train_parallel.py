@@ -1,0 +1,156 @@
+"""Data-parallel training benchmarks: workers sweep vs the sequential trainer.
+
+Times full ``Trainer.fit`` runs of the classical AE on a seeded synthetic
+workload under three execution strategies — the default single-process
+``SequentialTrainStep``, the shared-memory ``ParallelTrainStep`` at each
+worker count in :data:`WORKER_SWEEP`, and the in-process
+``ShardedTrainStep`` reference that replays the parallel reduction order
+without processes.  Two numbers come out of every parallel run:
+
+* *loop seconds* — the sum of per-epoch wall clocks recorded on
+  ``EpochRecord.seconds``, i.e. the steady-state training time the worker
+  pool is supposed to shrink; and
+* *setup seconds* — total ``fit`` wall clock minus the loop, dominated by
+  worker spawn (a fresh interpreter importing the library, ~2 s per
+  worker on a cold cache).  Reported separately so a short benchmark run
+  does not bill one-time spawn cost against the per-epoch speedup.
+
+The configuration deliberately enables gradient clipping
+(``max_grad_norm=1.0``): the clip norm is the one place reduction
+arithmetic ever leaked into trained parameters (gradient *memory layout*
+changed the summation order), so the equality anchors exercise it.
+
+``run_train.py`` drives these workloads with a minimal shim, records
+``BENCH_train.json``, and enforces the correctness anchors (bit-for-bit
+``workers=1`` vs sequential, ``workers=N`` vs the sharded reference) plus
+— only on multi-core machines — the multi-worker speedup floor.
+
+Written against the pytest-benchmark fixture API for ``pytest
+benchmarks/ --benchmark-only``; training benchmarks run once (rounds=1)
+like the other end-to-end reproductions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data import ArrayDataset
+from repro.models import build_model
+from repro.training import (
+    ShardedTrainStep,
+    TrainConfig,
+    Trainer,
+)
+
+TRAIN_N = 192
+TEST_N = 48
+INPUT_DIM = 32
+RANK = 6               # low-rank structure so the AE has something to learn
+LATENT_DIM = 8
+EPOCHS = 3
+BATCH_SIZE = 16
+DATA_SEED = 29
+MODEL_SEED = 7
+LOADER_SEED = 5
+WORKER_SWEEP = (1, 2)
+
+
+def _dataset(n: int, seed: int) -> ArrayDataset:
+    gen = np.random.default_rng(seed)
+    base = gen.normal(size=(RANK, INPUT_DIM))
+    return ArrayDataset(gen.normal(size=(n, RANK)) @ base)
+
+
+def training_data() -> ArrayDataset:
+    return _dataset(TRAIN_N, DATA_SEED)
+
+
+def test_data() -> ArrayDataset:
+    return _dataset(TEST_N, DATA_SEED + 1)
+
+
+def fresh_model():
+    return build_model("ae", INPUT_DIM, 4, 2, LATENT_DIM, seed=MODEL_SEED)
+
+
+def train_once(workers=None, strategy=None):
+    """One full deterministic ``fit``; returns ``(history, model, wall_s)``.
+
+    Identical seeds everywhere, so two calls with the same arguments
+    produce bitwise-identical histories and parameters — which is what
+    lets the runner time rounds and reuse one of them as the equality
+    anchor.
+    """
+    config = TrainConfig(
+        epochs=EPOCHS,
+        batch_size=BATCH_SIZE,
+        seed=LOADER_SEED,
+        max_grad_norm=1.0,
+        workers=workers,
+    )
+    model = fresh_model()
+    trainer = Trainer(model, config, strategy=strategy)
+    start = time.perf_counter()
+    history = trainer.fit(training_data(), test_data=test_data())
+    wall_s = time.perf_counter() - start
+    return history, model, wall_s
+
+
+def loop_seconds(history) -> float:
+    """Steady-state training time: the sum of per-epoch wall clocks."""
+    return sum(record.seconds for record in history.epochs)
+
+
+def histories_equal(a, b) -> bool:
+    """Plain ``==`` on every recorded loss — bit-for-bit, no tolerance."""
+    return (
+        a.train_losses == b.train_losses
+        and a.test_losses == b.test_losses
+        and a.batch_losses == b.batch_losses
+    )
+
+
+def parameters_equal(model_a, model_b) -> bool:
+    """Plain ``==`` on every parameter array — bit-for-bit, no tolerance."""
+    pairs = list(zip(model_a.named_parameters(), model_b.named_parameters()))
+    return all(
+        name_a == name_b and bool((a.data == b.data).all())
+        for (name_a, a), (name_b, b) in pairs
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (rounds=1 end-to-end runs)
+# ----------------------------------------------------------------------
+
+
+def bench_train_sequential(benchmark):
+    from conftest import run_once
+
+    history, _, _ = run_once(benchmark, lambda: train_once())
+    assert len(history.epochs) == EPOCHS
+
+
+def bench_train_workers_1(benchmark):
+    from conftest import run_once
+
+    history, _, _ = run_once(benchmark, lambda: train_once(workers=1))
+    assert len(history.epochs) == EPOCHS
+
+
+def bench_train_workers_2(benchmark):
+    from conftest import run_once
+
+    history, _, _ = run_once(benchmark, lambda: train_once(workers=2))
+    assert len(history.epochs) == EPOCHS
+
+
+def bench_train_sharded_reference_2(benchmark):
+    from conftest import run_once
+
+    history, _, _ = run_once(
+        benchmark, lambda: train_once(strategy=ShardedTrainStep(2))
+    )
+    assert len(history.epochs) == EPOCHS

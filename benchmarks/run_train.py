@@ -1,0 +1,287 @@
+"""Data-parallel training runner: workers sweep vs the sequential trainer.
+
+Drives the workloads defined in :mod:`bench_train_parallel` — the
+classical-AE training run under the default single-process strategy, the
+shared-memory ``ParallelTrainStep`` at each worker count, and the
+in-process ``ShardedTrainStep`` reduction-order reference — and writes
+``BENCH_train.json`` at the repo root.
+
+Each run is timed twice over: *loop seconds* (the sum of per-epoch wall
+clocks on ``EpochRecord.seconds`` — the steady-state cost the pool
+shrinks) and *setup seconds* (total ``fit`` wall minus the loop,
+dominated by worker spawn).  Speedups are derived from loop seconds so a
+short benchmark does not bill one-time spawn cost against the per-epoch
+win; the spawn cost stays visible in the payload as its own number.
+
+``--check`` turns the runner into a regression gate with two families:
+
+* **Correctness anchors, enforced everywhere.**  Every seed is pinned, so
+  ``workers=1`` must reproduce the sequential trainer *bit for bit*
+  (plain ``==`` on loss histories and on every parameter array — no
+  tolerance) and ``workers=2`` must likewise match ``ShardedTrainStep(2)``,
+  the single-process reference replaying the identical fixed-worker-order
+  reduction.  Any drift — a dtype slip in the shared-memory transport, a
+  reduction reorder, a layout-dependent summation — fails the gate.
+* **Speedup floor, enforced only where it can hold.**  The
+  ``workers=2`` loop must beat the sequential loop by
+  :data:`MULTI_WORKER_FLOOR` — but only when the machine reports more
+  than one CPU (``cpu_count`` in the stamp); on a single-core runner two
+  workers time-slice one core plus pay IPC, so the floor is reported but
+  not gated.
+
+Each payload is stamped with the git commit plus the CPU count and BLAS
+vendor, matching the other ``BENCH_*.json`` files future PRs diff
+against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_train.py [--only SUBSTR]
+        [--rounds N] [--output PATH] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_machine import machine_stamp  # noqa: E402
+from bench_train_parallel import (  # noqa: E402
+    BATCH_SIZE,
+    EPOCHS,
+    INPUT_DIM,
+    TRAIN_N,
+    WORKER_SWEEP,
+    histories_equal,
+    loop_seconds,
+    parameters_equal,
+    train_once,
+)
+
+# The workers=2 training loop must beat the sequential loop by this much
+# on multi-core machines (per-epoch time, spawn excluded).  Modest on
+# purpose: the epoch-level win is bounded by per-step IPC (parameter
+# publish + gradient collect through shared memory) and by the smallest
+# shard, so the floor guards "the pool actually helps" rather than a 2x
+# headline.  Single-core machines report the ratio but never gate on it.
+MULTI_WORKER_FLOOR = 1.05
+
+_SEQUENTIAL = "train_sequential"
+
+
+def _workloads():
+    """Name -> zero-arg callable returning ``(history, model, wall_s)``."""
+    from repro.training import ShardedTrainStep
+
+    jobs = {_SEQUENTIAL: lambda: train_once()}
+    for n in WORKER_SWEEP:
+        jobs[f"train_workers_{n}"] = (
+            lambda n=n: train_once(workers=n)
+        )
+    reference = max(WORKER_SWEEP)
+    jobs[f"train_sharded_reference_{reference}"] = (
+        lambda: train_once(strategy=ShardedTrainStep(reference))
+    )
+    return jobs
+
+
+def git_commit() -> str | None:
+    """The commit the benchmarked tree is based on, or None outside git.
+
+    Suffixed with ``-dirty`` when the working tree has uncommitted changes,
+    so BENCH_train.json never attributes numbers measured on modified code
+    to a clean commit.
+    """
+    def _git(*args):
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    head = _git("rev-parse", "HEAD")
+    if head is None:
+        return None
+    status = _git("status", "--porcelain")
+    dirty = "-dirty" if status is None or status.strip() else ""
+    return head.strip() + dirty
+
+
+def _stats(times: list) -> dict:
+    return {
+        "min_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "max_s": max(times),
+        "rounds": len(times),
+    }
+
+
+def run_workload(fn, rounds: int):
+    """Train ``rounds`` times; every run is deterministic and identical.
+
+    Returns ``(stats, history, model)`` where ``stats`` carries separate
+    loop/setup/wall timings and the history/model come from the first run
+    (any run would do — the whole point is that they are bitwise equal).
+    """
+    loop_times, setup_times, wall_times = [], [], []
+    anchor = None
+    for _ in range(rounds):
+        history, model, wall_s = fn()
+        loop_s = loop_seconds(history)
+        loop_times.append(loop_s)
+        setup_times.append(wall_s - loop_s)
+        wall_times.append(wall_s)
+        if anchor is None:
+            anchor = (history, model)
+    stats = {
+        "loop": _stats(loop_times),
+        "setup": _stats(setup_times),
+        "wall": _stats(wall_times),
+    }
+    return stats, anchor[0], anchor[1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", help="substring filter on workload names")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="full training runs per workload (default 3)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_train.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if an equality anchor breaks or (on "
+                             "multi-core machines) the multi-worker speedup "
+                             "falls below its floor")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+
+    results: dict[str, dict] = {}
+    anchors: dict[str, tuple] = {}
+    for name, fn in _workloads().items():
+        if args.only and args.only not in name:
+            continue
+        stats, history, model = run_workload(fn, args.rounds)
+        results[name] = stats
+        anchors[name] = (history, model)
+        print(f"{name:28s} loop {stats['loop']['min_s'] * 1e3:9.1f} ms  "
+              f"setup {stats['setup']['mean_s'] * 1e3:9.1f} ms",
+              file=sys.stderr)
+
+    if not results:
+        print(f"no workloads match --only {args.only!r}; not writing output",
+              file=sys.stderr)
+        return 1
+
+    # Loop-seconds speedups of every parallel leg over the sequential
+    # trainer (min over rounds on both sides).
+    speedups: dict[str, float] = {}
+    if _SEQUENTIAL in results:
+        sequential_min = results[_SEQUENTIAL]["loop"]["min_s"]
+        for name, stats in results.items():
+            if name == _SEQUENTIAL:
+                continue
+            speedups[name] = round(
+                sequential_min / stats["loop"]["min_s"], 3
+            )
+
+    # Bit-for-bit equality anchors, computed wherever both legs ran.
+    equality: dict[str, dict] = {}
+    pairs = [("train_workers_1", _SEQUENTIAL, "workers1_vs_sequential")]
+    reference = max(WORKER_SWEEP)
+    pairs.append((
+        f"train_workers_{reference}",
+        f"train_sharded_reference_{reference}",
+        f"workers{reference}_vs_sharded_reference",
+    ))
+    for left, right, label in pairs:
+        if left not in anchors or right not in anchors:
+            continue
+        (h_l, m_l), (h_r, m_r) = anchors[left], anchors[right]
+        equality[label] = {
+            "history": histories_equal(h_l, h_r),
+            "parameters": parameters_equal(m_l, m_r),
+        }
+        print(f"{label:36s} history={equality[label]['history']}  "
+              f"parameters={equality[label]['parameters']}",
+              file=sys.stderr)
+
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_commit": git_commit(),
+        **machine_stamp(),
+        "rounds": args.rounds,
+        "workload": {
+            "model": "ae",
+            "input_dim": INPUT_DIM,
+            "train_n": TRAIN_N,
+            "epochs": EPOCHS,
+            "batch_size": BATCH_SIZE,
+            "worker_sweep": list(WORKER_SWEEP),
+        },
+        "benchmarks": results,
+        "speedup_vs_sequential": speedups,
+        "equality": equality,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        checked = 0
+        failures = []
+        expected_anchors = [label for _, _, label in pairs]
+        for label in expected_anchors:
+            if label not in equality:
+                print(f"warning: equality anchor {label} was not measured "
+                      f"(filtered by --only?)", file=sys.stderr)
+                continue
+            checked += 1
+            for field, held in sorted(equality[label].items()):
+                if not held:
+                    failures.append(
+                        f"EQUALITY {label}: {field} differ — the parallel "
+                        f"path no longer reproduces its reference bit for bit"
+                    )
+        gated = f"train_workers_{max(WORKER_SWEEP)}"
+        cpu_count = os.cpu_count() or 1
+        if gated in speedups:
+            if cpu_count > 1:
+                checked += 1
+                if speedups[gated] < MULTI_WORKER_FLOOR:
+                    failures.append(
+                        f"REGRESSION {gated}: speedup {speedups[gated]:.2f}x "
+                        f"below floor {MULTI_WORKER_FLOOR:.2f}x"
+                    )
+            else:
+                print(f"single-core machine (cpu_count={cpu_count}): "
+                      f"multi-worker speedup floor not gated "
+                      f"(measured {speedups[gated]:.2f}x)", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        if failures:
+            return 1
+        if not checked:
+            print("--check measured no anchor or floor; refusing to pass "
+                  "an empty gate", file=sys.stderr)
+            return 1
+        print(f"--check ok: {checked} anchor(s)/floor(s) held",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

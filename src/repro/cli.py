@@ -138,12 +138,14 @@ def _cmd_train(args) -> int:
         epochs=args.epochs, batch_size=args.batch_size,
         quantum_lr=args.quantum_lr, classical_lr=args.classical_lr,
         seed=args.seed, precision=args.precision, backend=args.backend,
+        workers=args.workers,
     )
     trainer = Trainer(model, config)
     history = trainer.fit(train, test_data=test)
     for record in history.epochs:
+        seconds = f" ({record.seconds:.2f}s)" if record.seconds is not None else ""
         print(f"epoch {record.epoch}: train {record.train_loss:.4f} "
-              f"test {record.test_loss:.4f}")
+              f"test {record.test_loss:.4f}{seconds}")
 
     if args.out:
         metadata = {
@@ -307,6 +309,10 @@ def main(argv: list[str] | None = None) -> int:
                        default=None,
                        help="kernel backend for the run (recorded in the "
                             "checkpoint; default numpy)")
+    train.add_argument("--workers", type=_positive_int, default=None,
+                       help="data-parallel worker processes sharing the "
+                            "batch through shared memory (default: "
+                            "single-process training)")
     train.add_argument("--normalize", action="store_true",
                        help="L1-normalize features (F-BQ models need this)")
     train.add_argument("--warm-start-bias", action="store_true")

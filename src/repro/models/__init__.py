@@ -24,13 +24,19 @@ from .baseline import (
     HybridQuantumVAE,
 )
 from .classical import ClassicalAE, ClassicalVAE, default_hidden_dims
-from .factory import MODEL_CHOICES, build_from_metadata, build_model
+from .factory import (
+    MODEL_CHOICES,
+    build_from_metadata,
+    build_model,
+    model_metadata,
+)
 from .scalable import DEFAULT_SQ_LAYERS, ScalableQuantumAE, ScalableQuantumVAE
 
 __all__ = [
     "MODEL_CHOICES",
     "build_model",
     "build_from_metadata",
+    "model_metadata",
     "Autoencoder",
     "AutoencoderOutput",
     "VariationalMixin",

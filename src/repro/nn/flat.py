@@ -1,0 +1,185 @@
+"""Contiguous flat views of a module's parameters and gradients.
+
+Data-parallel training (:mod:`repro.training.parallel`) moves parameters
+and gradients between processes through one
+``multiprocessing.shared_memory`` block.  The block is just bytes; this
+module defines the *layout* that gives those bytes meaning: a
+:class:`FlatLayout` assigns every parameter a named slot — shape, dtype,
+and byte offset — inside one contiguous buffer, so the master can publish
+its parameters with one pass of copies, and each worker can expose its
+slot as zero-copy numpy views.
+
+Two layouts matter per module:
+
+* :func:`parameter_layout` — slots sized and typed like each parameter's
+  ``data`` array (what the master publishes and workers read back);
+* :func:`gradient_layout` — slots typed like the *gradient* buffers the
+  active (or given) precision policy allocates, which the ``mixed32``
+  policy widens to float64 over float32 parameters (mirrors
+  :func:`repro.nn.precision.grad_dtype`).
+
+Layouts are plain frozen dataclasses of names/shapes/dtypes/offsets —
+picklable, so the master computes them once and ships them to workers,
+guaranteeing both sides agree on every offset.  Parameters shared under
+several dotted names occupy one slot (first name wins), matching the
+deduplication of :meth:`repro.nn.modules.Module.parameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .precision import resolve_precision
+
+__all__ = [
+    "FlatSlot",
+    "FlatLayout",
+    "parameter_layout",
+    "gradient_layout",
+    "unique_named_parameters",
+    "write_parameters",
+    "read_parameters",
+    "write_gradients",
+]
+
+# Slot offsets are rounded up to this many bytes so every view is aligned
+# for its dtype whatever mix of widths the module holds (complex128 needs
+# 16; a float32 slot after a float64 one must not start mid-word).
+_ALIGN = 16
+
+
+def unique_named_parameters(module) -> Iterator[tuple[str, object]]:
+    """``(name, parameter)`` pairs deduplicated by identity.
+
+    A parameter registered under several dotted names (weight tying)
+    appears once, under the first name traversal finds — the same order
+    and deduplication as ``Module.parameters()``, so a layout built from
+    this iteration allocates each underlying array exactly once.
+    """
+    seen: set[int] = set()
+    for name, param in module.named_parameters():
+        if id(param) not in seen:
+            seen.add(id(param))
+            yield name, param
+
+
+@dataclass(frozen=True)
+class FlatSlot:
+    """One named array's position inside a flat buffer."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    offset: int  # bytes from the start of the layout
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+@dataclass(frozen=True)
+class FlatLayout:
+    """An ordered set of :class:`FlatSlot` slots covering ``nbytes`` bytes."""
+
+    slots: tuple[FlatSlot, ...]
+    nbytes: int
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[tuple[str, tuple[int, ...], object]]
+                   ) -> "FlatLayout":
+        """Build a layout from ``(name, shape, dtype)`` triples in order."""
+        slots: list[FlatSlot] = []
+        offset = 0
+        for name, shape, dtype in specs:
+            offset = -(-offset // _ALIGN) * _ALIGN
+            slot = FlatSlot(name, tuple(int(s) for s in shape),
+                            np.dtype(dtype), offset)
+            slots.append(slot)
+            offset += slot.nbytes
+        return cls(tuple(slots), -(-offset // _ALIGN) * _ALIGN)
+
+    def views(self, buffer, base: int = 0) -> dict[str, np.ndarray]:
+        """Zero-copy ndarray views of every slot inside ``buffer``.
+
+        ``buffer`` is anything exposing the buffer protocol (a
+        ``SharedMemory.buf`` memoryview, a bytearray, a uint8 array);
+        ``base`` shifts the whole layout, so several layouts — or several
+        workers' copies of one layout — can tile a single block.
+        """
+        return {
+            slot.name: np.ndarray(slot.shape, dtype=slot.dtype,
+                                  buffer=buffer, offset=base + slot.offset)
+            for slot in self.slots
+        }
+
+    def specs(self) -> tuple[tuple[str, tuple[int, ...], str], ...]:
+        """``(name, shape, dtype-str)`` triples — handy for comparisons."""
+        return tuple((s.name, s.shape, s.dtype.str) for s in self.slots)
+
+
+def parameter_layout(module) -> FlatLayout:
+    """Layout with one slot per unique parameter, typed like its data."""
+    return FlatLayout.from_specs(
+        (name, param.data.shape, param.data.dtype)
+        for name, param in unique_named_parameters(module)
+    )
+
+
+def gradient_layout(module, precision=None) -> FlatLayout:
+    """Layout typed like each parameter's *gradient* buffer.
+
+    ``precision`` names the policy whose ``grad_real`` widens the slots
+    (None reads the active policy), mirroring
+    :func:`repro.nn.precision.grad_dtype`: under ``mixed32`` a float32
+    parameter gets a float64 gradient slot.
+    """
+    grad_real = resolve_precision(precision).grad_real
+    return FlatLayout.from_specs(
+        (name, param.data.shape,
+         np.promote_types(param.data.dtype, grad_real))
+        for name, param in unique_named_parameters(module)
+    )
+
+
+def write_parameters(module, layout: FlatLayout, buffer, base: int = 0) -> None:
+    """Copy every parameter's current data into its slot."""
+    views = layout.views(buffer, base)
+    for name, param in unique_named_parameters(module):
+        views[name][...] = param.data
+
+
+def read_parameters(module, layout: FlatLayout, buffer, base: int = 0) -> None:
+    """Copy slot contents back into the parameters, in place.
+
+    Writes through ``param.data[...] = view`` rather than rebinding, so
+    parameter identity (and the optimizer state keyed on it) survives.
+    """
+    views = layout.views(buffer, base)
+    for name, param in unique_named_parameters(module):
+        param.data[...] = views[name]
+
+
+def write_gradients(module, layout: FlatLayout, buffer, base: int = 0
+                    ) -> tuple[str, ...]:
+    """Copy every present gradient into its slot; return the present names.
+
+    Parameters whose ``grad`` is None leave their slot untouched (stale
+    bytes) — the returned name tuple is the authoritative presence mask,
+    so a reader never mistakes stale data for a zero gradient and a
+    parameter that took no part in the step stays grad-less end to end
+    (an optimizer skips it instead of applying a zero update).
+    """
+    views = layout.views(buffer, base)
+    present: list[str] = []
+    for name, param in unique_named_parameters(module):
+        if param.grad is not None:
+            views[name][...] = param.grad
+            present.append(name)
+    return tuple(present)

@@ -1,7 +1,9 @@
-"""Training loop, losses, and run histories."""
+"""Training runtime: shared loop, pluggable step strategies, histories."""
 
 from .history import EpochRecord, History
 from .losses import LossTerms, autoencoder_loss
+from .parallel import ParallelTrainStep, ShardedTrainStep
+from .strategies import SequentialTrainStep, TrainStep, clip_grad_norm
 from .trainer import (
     PAPER_CLASSICAL_LR,
     PAPER_QUANTUM_LR,
@@ -17,6 +19,11 @@ __all__ = [
     "autoencoder_loss",
     "TrainConfig",
     "Trainer",
+    "TrainStep",
+    "SequentialTrainStep",
+    "ShardedTrainStep",
+    "ParallelTrainStep",
+    "clip_grad_norm",
     "evaluate_reconstruction",
     "PAPER_QUANTUM_LR",
     "PAPER_CLASSICAL_LR",

@@ -9,7 +9,12 @@ __all__ = ["EpochRecord", "History"]
 
 @dataclass
 class EpochRecord:
-    """Mean losses over one epoch (test fields None when not evaluated)."""
+    """Mean losses over one epoch (test fields None when not evaluated).
+
+    ``seconds`` is the epoch's wall-clock time as measured by the trainer
+    (training steps plus the per-epoch test evaluation); None for records
+    built outside the training loop.
+    """
 
     epoch: int
     train_loss: float
@@ -17,6 +22,7 @@ class EpochRecord:
     train_kl: float
     test_loss: float | None = None
     test_reconstruction: float | None = None
+    seconds: float | None = None
 
 
 @dataclass

@@ -4,10 +4,18 @@ Section IV-B: mini-batches of 32, Adam with default betas (0.9, 0.999),
 learning rate 0.001 for the depth study, and — after the Fig. 7 ablation —
 *heterogeneous* learning rates: 0.03 for quantum rotation angles and 0.01
 for classical weights.  :class:`TrainConfig` exposes exactly those knobs.
+
+The loop itself is split in two: :class:`Trainer` runs everything that
+happens *between* optimizer updates (epoch accounting, the scheduler,
+early stopping, history), while a :class:`~repro.training.strategies
+.TrainStep` strategy executes each update.  The default strategy is the
+historical in-process loop body; ``TrainConfig.workers`` swaps in the
+shared-memory data-parallel strategy from :mod:`repro.training.parallel`.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable
@@ -22,29 +30,10 @@ from ..nn.schedulers import LRScheduler
 from ..nn.tensor import Tensor, no_grad
 from ..quantum.backends import resolve_backend, use_backend
 from .history import EpochRecord, History
-from .losses import autoencoder_loss
+from .strategies import SequentialTrainStep, TrainStep, clip_grad_norm
 
 __all__ = ["TrainConfig", "Trainer", "evaluate_reconstruction",
            "clip_grad_norm"]
-
-
-def clip_grad_norm(parameters, max_norm: float) -> float:
-    """Scale all gradients so their global L2 norm is at most ``max_norm``.
-
-    Returns the pre-clipping norm (torch semantics).  Parameters without
-    gradients are skipped.
-    """
-    if max_norm <= 0:
-        raise ValueError("max_norm must be positive")
-    params = [p for p in parameters if p.grad is not None]
-    if not params:
-        return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
-    if total > max_norm:
-        scale = max_norm / (total + 1e-12)
-        for param in params:
-            param.grad = param.grad * scale
-    return total
 
 PAPER_QUANTUM_LR = 0.03
 PAPER_CLASSICAL_LR = 0.01
@@ -72,6 +61,12 @@ class TrainConfig:
     # default).  "threaded" scopes the row-sharding backend over the loop,
     # so every quantum layer's stacked passes run on the worker pool.
     backend: str | None = None
+    # Data-parallel worker processes (None = single-process strategy).
+    # Each batch is sharded across N spawned workers that compute
+    # gradients against a shared-memory parameter block; the master
+    # reduces them in fixed worker order, so a given N is deterministic
+    # and workers=1 reproduces the sequential trainer bit for bit.
+    workers: int | None = None
     # Learning-rate schedule: a factory called once with the optimizer
     # (e.g. ``lambda opt: StepLR(opt, step_size=5, gamma=0.5)``) and
     # stepped once per epoch.  Schedulers rescale every parameter group
@@ -93,7 +88,12 @@ class TrainConfig:
 class Trainer:
     """Fits one autoencoder on one dataset and records the loss trace."""
 
-    def __init__(self, model: Autoencoder, config: TrainConfig):
+    def __init__(
+        self,
+        model: Autoencoder,
+        config: TrainConfig,
+        strategy: TrainStep | None = None,
+    ):
         self.model = model
         self.config = config
         self.precision = resolve_precision(config.precision)
@@ -111,6 +111,14 @@ class Trainer:
             if config.scheduler is not None
             else None
         )
+        if strategy is None:
+            if config.workers is None:
+                strategy = SequentialTrainStep()
+            else:
+                from .parallel import ParallelTrainStep
+
+                strategy = ParallelTrainStep(config.workers)
+        self.strategy = strategy
 
     def fit(
         self,
@@ -137,7 +145,6 @@ class Trainer:
         test_data: ArrayDataset | None = None,
     ) -> History:
         config = self.config
-        real = self.precision.real
         # The patience counter only ever advances on test losses; without
         # test data it was silently ignored and training ran every epoch.
         if config.early_stop_patience is not None and test_data is None:
@@ -163,59 +170,57 @@ class Trainer:
         history = History()
         best_test = float("inf")
         epochs_since_best = 0
-        for epoch in range(1, config.epochs + 1):
-            epoch_total = epoch_recon = epoch_kl = 0.0
-            n_batches = 0
-            self.model.train()
-            for batch in loader:
-                # set_to_none pairs with the compiled tape (repro.nn.graph):
-                # full-size batches re-record structurally identical tapes,
-                # so every backward after the first runs one cached
-                # GraphPlan with reused cotangent buffers, and dropping
-                # .grad lets leaves adopt the plan's fresh outputs instead
-                # of accumulating into stale zeroed buffers.
-                self.optimizer.zero_grad(set_to_none=True)
-                output = self.model(Tensor(batch, dtype=real))
-                loss, terms = autoencoder_loss(
-                    output, Tensor(batch, dtype=real), beta=config.beta
+        self.strategy.setup(self, train_data.features)
+        try:
+            for epoch in range(1, config.epochs + 1):
+                started = time.perf_counter()
+                epoch_total = epoch_recon = epoch_kl = 0.0
+                n_batches = 0
+                self.model.train()
+                for indices in loader.iter_index_batches():
+                    terms = self.strategy.step(indices)
+                    epoch_total += terms.total
+                    epoch_recon += terms.reconstruction
+                    epoch_kl += terms.kl
+                    n_batches += 1
+                    history.batch_losses.append(terms.total)
+                record = EpochRecord(
+                    epoch=epoch,
+                    train_loss=epoch_total / n_batches,
+                    train_reconstruction=epoch_recon / n_batches,
+                    train_kl=epoch_kl / n_batches,
                 )
-                loss.backward()
-                if config.max_grad_norm is not None:
-                    clip_grad_norm(self.model.parameters(), config.max_grad_norm)
-                self.optimizer.step()
-                epoch_total += terms.total
-                epoch_recon += terms.reconstruction
-                epoch_kl += terms.kl
-                n_batches += 1
-                history.batch_losses.append(terms.total)
-            record = EpochRecord(
-                epoch=epoch,
-                train_loss=epoch_total / n_batches,
-                train_reconstruction=epoch_recon / n_batches,
-                train_kl=epoch_kl / n_batches,
-            )
-            if test_data is not None:
-                record.test_loss = self.evaluate(test_data)
-                record.test_reconstruction = record.test_loss
-            history.append(record)
-            if self.scheduler is not None:
-                self.scheduler.step()
-            if (
-                config.early_stop_patience is not None
-                and record.test_loss is not None
-            ):
-                if record.test_loss < best_test - 1e-12:
-                    best_test = record.test_loss
-                    epochs_since_best = 0
-                else:
-                    epochs_since_best += 1
-                    if epochs_since_best >= config.early_stop_patience:
-                        break
+                if test_data is not None:
+                    record.test_loss = self.evaluate(test_data)
+                    record.test_reconstruction = record.test_loss
+                record.seconds = time.perf_counter() - started
+                history.append(record)
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                if (
+                    config.early_stop_patience is not None
+                    and record.test_loss is not None
+                ):
+                    if record.test_loss < best_test - 1e-12:
+                        best_test = record.test_loss
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+                        if epochs_since_best >= config.early_stop_patience:
+                            break
+        finally:
+            self.strategy.close()
         return history
 
     def evaluate(self, data: ArrayDataset) -> float:
-        """Mean reconstruction MSE over a dataset (no gradient tracking)."""
-        with self._backend_scope():
+        """Mean reconstruction MSE over a dataset (no gradient tracking).
+
+        Runs under the config's precision policy *and* backend scope —
+        evaluation used to pick up whatever ambient precision the caller
+        had active, so a float32-configured trainer evaluated in float64
+        when called outside ``fit``.
+        """
+        with use_precision(self.precision), self._backend_scope():
             return evaluate_reconstruction(
                 self.model, data, self.config.batch_size, dtype=self.precision
             )

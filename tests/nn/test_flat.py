@@ -1,0 +1,139 @@
+"""Tests for the contiguous flat parameter/gradient layouts."""
+
+import numpy as np
+import pytest
+
+from repro.models import ClassicalAE, build_model
+from repro.nn import (
+    FlatLayout,
+    Module,
+    Parameter,
+    gradient_layout,
+    parameter_layout,
+    unique_named_parameters,
+)
+from repro.nn.flat import read_parameters, write_gradients, write_parameters
+from repro.nn.precision import use_precision
+
+
+class TiedModule(Module):
+    """Two dotted names for one parameter (weight tying)."""
+
+    def __init__(self):
+        super().__init__()
+        shared = Parameter(np.arange(6.0).reshape(2, 3))
+        self.first = shared
+        self.second = shared
+        self.own = Parameter(np.ones(4, dtype=np.float32))
+
+
+class TestLayout:
+    def test_offsets_are_aligned_and_ordered(self):
+        layout = FlatLayout.from_specs([
+            ("a", (3,), np.float32),      # 12 bytes -> next slot at 16
+            ("b", (2, 2), np.float64),    # 32 bytes -> next slot at 48
+            ("c", (1,), np.complex128),
+        ])
+        offsets = [slot.offset for slot in layout.slots]
+        assert offsets == [0, 16, 48]
+        assert all(offset % 16 == 0 for offset in offsets)
+        assert layout.nbytes % 16 == 0
+        assert layout.nbytes >= offsets[-1] + layout.slots[-1].nbytes
+
+    def test_views_round_trip_values(self):
+        layout = FlatLayout.from_specs([
+            ("w", (2, 3), np.float64),
+            ("b", (3,), np.float32),
+        ])
+        buffer = bytearray(layout.nbytes)
+        views = layout.views(buffer)
+        views["w"][...] = np.arange(6.0).reshape(2, 3)
+        views["b"][...] = [1.0, 2.0, 3.0]
+        again = layout.views(buffer)
+        np.testing.assert_array_equal(again["w"], np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(again["b"],
+                                      np.array([1, 2, 3], dtype=np.float32))
+
+    def test_base_offset_tiles_independent_regions(self):
+        layout = FlatLayout.from_specs([("x", (4,), np.float64)])
+        buffer = bytearray(3 * layout.nbytes)
+        for region in range(3):
+            layout.views(buffer, base=region * layout.nbytes)["x"][...] = region
+        for region in range(3):
+            view = layout.views(buffer, base=region * layout.nbytes)["x"]
+            np.testing.assert_array_equal(view, np.full(4, float(region)))
+
+    def test_layout_is_picklable(self):
+        import pickle
+
+        model = ClassicalAE(input_dim=8, latent_dim=2,
+                            rng=np.random.default_rng(0))
+        layout = parameter_layout(model)
+        clone = pickle.loads(pickle.dumps(layout))
+        assert clone.specs() == layout.specs()
+        assert clone.nbytes == layout.nbytes
+
+
+class TestModuleLayouts:
+    def test_parameter_layout_covers_every_unique_parameter(self):
+        model = build_model("ae", 16, 4, 2, 4, seed=0)
+        layout = parameter_layout(model)
+        names = [slot.name for slot in layout.slots]
+        assert names == [n for n, _ in unique_named_parameters(model)]
+        for slot, (_, param) in zip(layout.slots,
+                                    unique_named_parameters(model)):
+            assert slot.shape == param.data.shape
+            assert slot.dtype == param.data.dtype
+
+    def test_tied_parameters_get_one_slot(self):
+        module = TiedModule()
+        layout = parameter_layout(module)
+        assert len(layout.slots) == 2  # shared + own, not 3
+        assert layout.slots[0].name == "first"
+
+    def test_gradient_layout_promotes_under_mixed32(self):
+        module = TiedModule()  # has a float32 parameter
+        with use_precision("mixed32"):
+            layout = gradient_layout(module)
+        by_name = {slot.name: slot for slot in layout.slots}
+        assert by_name["own"].dtype == np.float64
+        with use_precision("float32"):
+            layout32 = gradient_layout(module)
+        assert {s.name: s.dtype for s in layout32.slots}["own"] == np.float32
+
+
+class TestTransport:
+    def test_write_read_parameters_round_trip(self):
+        source = build_model("ae", 16, 4, 2, 4, seed=1)
+        target = build_model("ae", 16, 4, 2, 4, seed=2)
+        layout = parameter_layout(source)
+        buffer = bytearray(layout.nbytes)
+        write_parameters(source, layout, buffer)
+        identities = [id(p) for p in target.parameters()]
+        read_parameters(target, layout, buffer)
+        assert [id(p) for p in target.parameters()] == identities
+        for (_, a), (_, b) in zip(source.named_parameters(),
+                                  target.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_write_gradients_reports_presence(self):
+        module = TiedModule()
+        layout = gradient_layout(module)
+        buffer = bytearray(layout.nbytes)
+        module.first.grad = np.full((2, 3), 2.0)
+        module.own.grad = None
+        present = write_gradients(module, layout, buffer)
+        assert present == ("first",)
+        views = layout.views(buffer)
+        np.testing.assert_array_equal(views["first"], np.full((2, 3), 2.0))
+
+    def test_transport_is_bit_exact(self):
+        model = build_model("ae", 16, 4, 2, 4, seed=3)
+        layout = parameter_layout(model)
+        buffer = bytearray(layout.nbytes)
+        write_parameters(model, layout, buffer)
+        clone = build_model("ae", 16, 4, 2, 4, seed=4)
+        read_parameters(clone, layout, buffer)
+        for (_, a), (_, b) in zip(model.named_parameters(),
+                                  clone.named_parameters()):
+            assert (a.data == b.data).all()

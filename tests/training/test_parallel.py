@@ -1,0 +1,294 @@
+"""Tests for shared-memory data-parallel training.
+
+Worker processes cost ~2 s each to spawn on this class of machine (a
+fresh interpreter imports the library), so the process-backed tests here
+are deliberately few and small; the reduction/layout logic is covered by
+cheap in-process tests.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.models import ClassicalAE, build_model, model_metadata
+from repro.nn.precision import precision_from_descriptor, resolve_precision
+from repro.quantum.backends import (
+    NumpyBackend,
+    ThreadedBackend,
+    backend_from_descriptor,
+)
+from repro.training import (
+    ParallelTrainStep,
+    ShardedTrainStep,
+    TrainConfig,
+    Trainer,
+)
+from repro.training.parallel import (
+    reduce_gradients,
+    reduce_loss_terms,
+    shard_weights,
+    split_indices,
+)
+
+
+def toy_data(n=24, dim=16, seed=0):
+    gen = np.random.default_rng(seed)
+    base = gen.normal(size=(4, dim))
+    return ArrayDataset(gen.normal(size=(n, 4)) @ base)
+
+
+def make_model(seed=3):
+    return build_model("ae", 16, 4, 2, 4, seed=seed)
+
+
+class FakeParam:
+    def __init__(self, data):
+        self.data = data
+        self.grad = None
+
+
+class FakeModule:
+    def __init__(self, names):
+        self._params = [(n, FakeParam(np.zeros(2))) for n in names]
+
+    def named_parameters(self):
+        return iter(self._params)
+
+
+class TestSharding:
+    def test_split_covers_batch_in_order(self):
+        indices = np.array([5, 1, 9, 3, 7, 2, 8])
+        shards = split_indices(indices, 3)
+        np.testing.assert_array_equal(np.concatenate(shards), indices)
+        assert [s.size for s in shards] == [3, 2, 2]
+
+    def test_split_drops_empty_shards(self):
+        shards = split_indices(np.array([4, 2]), 5)
+        assert len(shards) == 2
+        assert all(s.size == 1 for s in shards)
+
+    def test_split_single_shard_is_identity(self):
+        indices = np.arange(8)
+        (shard,) = split_indices(indices, 1)
+        np.testing.assert_array_equal(shard, indices)
+
+    def test_split_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            split_indices(np.arange(4), 0)
+
+    def test_single_shard_weight_is_exactly_one(self):
+        assert shard_weights([np.arange(7)]) == [1.0]
+
+    def test_weights_are_row_fractions(self):
+        weights = shard_weights(split_indices(np.arange(10), 3))
+        assert weights == [0.4, 0.3, 0.3]
+
+
+class TestReduction:
+    def test_loss_terms_weighted_in_order(self):
+        terms = reduce_loss_terms([(2.0, 1.0, 1.0), (4.0, 3.0, 1.0)],
+                                  [0.5, 0.5])
+        assert terms.total == 3.0
+        assert terms.reconstruction == 2.0
+        assert terms.kl == 1.0
+
+    def test_gradients_weighted_sum_in_shard_order(self):
+        module = FakeModule(["w"])
+        g0, g1 = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        reduce_gradients(
+            module,
+            [(("w",), {"w": g0}), (("w",), {"w": g1})],
+            [0.25, 0.75],
+        )
+        (_, param), = module._params
+        np.testing.assert_array_equal(param.grad, 0.25 * g0 + 0.75 * g1)
+
+    def test_absent_everywhere_stays_none(self):
+        module = FakeModule(["w", "frozen"])
+        reduce_gradients(
+            module,
+            [(("w",), {"w": np.ones(2)})],
+            [1.0],
+        )
+        params = dict(module._params)
+        assert params["frozen"].grad is None
+        np.testing.assert_array_equal(params["w"].grad, np.ones(2))
+
+    def test_partial_presence_uses_contributing_shards_only(self):
+        module = FakeModule(["w"])
+        reduce_gradients(
+            module,
+            [((), {}), (("w",), {"w": np.full(2, 8.0)})],
+            [0.5, 0.5],
+        )
+        (_, param), = module._params
+        np.testing.assert_array_equal(param.grad, np.full(2, 4.0))
+
+
+class TestDescriptors:
+    def test_precision_descriptor_round_trip(self):
+        for name in ("float64", "float32", "mixed32"):
+            policy = resolve_precision(name)
+            assert policy.descriptor() == name
+            assert precision_from_descriptor(policy.descriptor()) is policy
+
+    def test_numpy_backend_descriptor_round_trip(self):
+        rebuilt = backend_from_descriptor(NumpyBackend().descriptor())
+        assert isinstance(rebuilt, NumpyBackend)
+
+    def test_threaded_backend_descriptor_keeps_options(self):
+        backend = ThreadedBackend(max_workers=3, min_shard_elements=7)
+        rebuilt = backend_from_descriptor(backend.descriptor())
+        assert isinstance(rebuilt, ThreadedBackend)
+        assert rebuilt.max_workers == 3
+        assert rebuilt.min_shard_elements == 7
+
+    def test_bad_descriptor_raises(self):
+        with pytest.raises(ValueError):
+            backend_from_descriptor({"nope": 1})
+        with pytest.raises(ValueError):
+            backend_from_descriptor({"name": "no-such-backend"})
+
+
+class TestValidation:
+    def test_nonpositive_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelTrainStep(0)
+
+    def test_custom_architecture_rejected_before_spawn(self):
+        model = ClassicalAE(input_dim=16, latent_dim=4, hidden_dims=(5,),
+                            rng=np.random.default_rng(0))
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8,
+                                             workers=1))
+        with pytest.raises(ValueError, match="cannot data-parallel train"):
+            trainer.fit(toy_data(n=16))
+
+    def test_non_factory_model_rejected(self):
+        class Custom(ClassicalAE):
+            pass
+
+        model = Custom(input_dim=16, latent_dim=4,
+                       rng=np.random.default_rng(0))
+        with pytest.raises(TypeError, match="factory"):
+            model_metadata(model)
+
+    def test_metadata_round_trips_factory_models(self):
+        model = make_model()
+        metadata = model_metadata(model, seed=9)
+        assert metadata["model"] == "ae"
+        assert metadata["seed"] == 9
+        from repro.models import build_from_metadata
+        from repro.nn.flat import parameter_layout
+
+        rebuilt = build_from_metadata(metadata)
+        assert parameter_layout(rebuilt).specs() == \
+            parameter_layout(model).specs()
+
+
+def _fit(workers=None, strategy=None, seed=3):
+    train, test = toy_data(n=24, seed=1), toy_data(n=8, seed=2)
+    model = make_model(seed=seed)
+    config = TrainConfig(epochs=2, batch_size=8, seed=5, workers=workers,
+                         max_grad_norm=1.0)
+    trainer = Trainer(model, config, strategy=strategy)
+    history = trainer.fit(train, test_data=test)
+    return history, model
+
+
+class TestWorkerEquality:
+    def test_single_worker_matches_sequential_bit_for_bit(self):
+        h_seq, m_seq = _fit()
+        h_par, m_par = _fit(workers=1)
+        assert h_seq.train_losses == h_par.train_losses
+        assert h_seq.test_losses == h_par.test_losses
+        assert h_seq.batch_losses == h_par.batch_losses
+        for (_, a), (_, b) in zip(m_seq.named_parameters(),
+                                  m_par.named_parameters()):
+            assert (a.data == b.data).all()
+
+    def test_two_workers_match_same_order_reference(self):
+        h_ref, m_ref = _fit(strategy=ShardedTrainStep(2))
+        h_par, m_par = _fit(workers=2)
+        assert h_ref.train_losses == h_par.train_losses
+        assert h_ref.batch_losses == h_par.batch_losses
+        for (_, a), (_, b) in zip(m_ref.named_parameters(),
+                                  m_par.named_parameters()):
+            assert (a.data == b.data).all()
+
+
+class TestFailureHandling:
+    def _setup_strategy(self):
+        train = toy_data(n=16, seed=1)
+        model = make_model()
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8,
+                                             workers=1))
+        strategy = trainer.strategy
+        strategy.setup(trainer, train.features)
+        return strategy
+
+    def test_dead_worker_raises_instead_of_hanging(self):
+        strategy = self._setup_strategy()
+        try:
+            strategy._procs[0].terminate()
+            strategy._procs[0].join()
+            with pytest.raises(RuntimeError, match="worker 0"):
+                strategy.step(np.arange(8))
+        finally:
+            strategy.close()
+
+    def test_worker_exception_propagates_with_traceback(self):
+        strategy = self._setup_strategy()
+        try:
+            with pytest.raises(RuntimeError, match="IndexError"):
+                strategy.step(np.array([10_000_000]))
+        finally:
+            strategy.close()
+
+    def test_close_is_idempotent(self):
+        strategy = ParallelTrainStep(1)
+        strategy.close()  # never set up: must be a no-op
+        strategy.close()
+
+    def test_shared_memory_released_when_fit_raises_mid_epoch(self):
+        shm_names = []
+
+        class Exploding(ParallelTrainStep):
+            def __init__(self):
+                super().__init__(1)
+                self.calls = 0
+
+            def setup(self, trainer, features):
+                super().setup(trainer, features)
+                shm_names.extend(shm.name for shm in self._shms)
+
+            def step(self, indices):
+                self.calls += 1
+                if self.calls == 2:
+                    raise RuntimeError("mid-epoch failure")
+                return super().step(indices)
+
+        trainer = Trainer(make_model(),
+                          TrainConfig(epochs=1, batch_size=8, workers=1),
+                          strategy=Exploding())
+        with pytest.raises(RuntimeError, match="mid-epoch failure"):
+            trainer.fit(toy_data(n=16))
+        assert len(shm_names) == 2
+        for name in shm_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestCliWorkers:
+    def test_train_with_workers_prints_epoch_seconds(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "train", "--model", "ae", "--dataset", "qm9", "--samples", "24",
+            "--epochs", "1", "--batch-size", "8", "--workers", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "epoch 1" in output
+        assert "s)" in output  # per-epoch wall clock
